@@ -1,0 +1,196 @@
+// Command cnisim regenerates the tables and figures of "Coherent
+// Network Interfaces for Fine-Grain Communication" (ISCA 1996) on the
+// reproduction's simulator.
+//
+// Usage:
+//
+//	cnisim list
+//	cnisim table1|table2|table3|table4
+//	cnisim fig6 [--bus=memory|io|alt]
+//	cnisim fig7 [--bus=memory|io|alt]
+//	cnisim fig8 [--bus=memory|io|alt] [--apps=spsolve,gauss,...]
+//	cnisim occupancy [--apps=...]
+//	cnisim ablation
+//	cnisim sweep
+//	cnisim latency --ni=CNI512Q --bus=memory --size=64
+//	cnisim bandwidth --ni=CNI512Q --bus=memory --size=4096
+//	cnisim bench --app=spsolve --ni=CNI16Qm --bus=memory
+//	cnisim all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	cni "repro"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	if err := run(cmd, args); err != nil {
+		fmt.Fprintln(os.Stderr, "cnisim:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: cnisim <command> [flags]
+
+commands:
+  list              list experiments
+  table1..table4    the paper's tables
+  fig6|fig7|fig8    the paper's figures (--bus=memory|io|alt)
+  occupancy         §5.2 memory-bus occupancy (--apps=...)
+  ablation          CQ optimisation ablation
+  sweep             queue-size sweep
+  latency           one round-trip measurement (--ni --bus --size)
+  bandwidth         one bandwidth measurement (--ni --bus --size)
+  bench             one macrobenchmark run (--app --ni --bus)
+  all               every experiment in sequence`)
+}
+
+func run(cmd string, args []string) error {
+	switch cmd {
+	case "list":
+		for _, n := range cni.ExperimentNames() {
+			fmt.Println(n)
+		}
+		return nil
+	case "table1", "table2", "table3", "table4":
+		return show(cmd, nil)
+	case "fig6", "fig7", "fig8", "occupancy":
+		fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+		bus := fs.String("bus", "memory", "memory, io, or alt")
+		appList := fs.String("apps", "", "comma-separated benchmark subset")
+		if err := fs.Parse(args); err != nil {
+			return err
+		}
+		name := cmd
+		if cmd != "occupancy" {
+			name = cmd + "-" + *bus
+		}
+		return show(name, splitApps(*appList))
+	case "ablation":
+		return show("ablation", nil)
+	case "sweep":
+		return show("sweep", nil)
+	case "dma":
+		return show("dma", nil)
+	case "latency", "bandwidth":
+		return runMicro(cmd, args)
+	case "bench":
+		return runBench(args)
+	case "all":
+		for _, n := range cni.ExperimentNames() {
+			if err := show(n, nil); err != nil {
+				return err
+			}
+			fmt.Println()
+		}
+		return nil
+	default:
+		usage()
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+func show(name string, apps []string) error {
+	t, err := cni.Experiment(name, apps)
+	if err != nil {
+		return err
+	}
+	fmt.Print(t.String())
+	return nil
+}
+
+func splitApps(s string) []string {
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, ",")
+}
+
+// parseConfig resolves --ni/--bus flags to a Config.
+func parseConfig(ni, bus string, nodes int) (cni.Config, error) {
+	cfg := cni.Config{Nodes: nodes}
+	switch strings.ToLower(ni) {
+	case "ni2w":
+		cfg.NI = cni.NI2w
+	case "cni4":
+		cfg.NI = cni.CNI4
+	case "cni16q":
+		cfg.NI = cni.CNI16Q
+	case "cni512q":
+		cfg.NI = cni.CNI512Q
+	case "cni16qm":
+		cfg.NI = cni.CNI16Qm
+	case "dma":
+		cfg.NI = cni.DMA
+	default:
+		return cfg, fmt.Errorf("unknown NI %q", ni)
+	}
+	switch bus {
+	case "cache":
+		cfg.Bus = cni.CacheBus
+	case "memory":
+		cfg.Bus = cni.MemoryBus
+	case "io":
+		cfg.Bus = cni.IOBus
+	default:
+		return cfg, fmt.Errorf("unknown bus %q", bus)
+	}
+	return cfg, cfg.Validate()
+}
+
+func runMicro(cmd string, args []string) error {
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	ni := fs.String("ni", "CNI512Q", "NI design")
+	bus := fs.String("bus", "memory", "bus attachment")
+	size := fs.Int("size", 64, "message payload bytes")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg, err := parseConfig(*ni, *bus, 2)
+	if err != nil {
+		return err
+	}
+	switch cmd {
+	case "latency":
+		rtt := cni.RoundTrip(cfg, *size, 4)
+		fmt.Printf("%s %dB round-trip: %d cycles (%.2f us)\n",
+			cfg.Name(), *size, rtt, cni.Microseconds(rtt))
+	case "bandwidth":
+		bw := cni.Bandwidth(cfg, *size, 200)
+		bound := cni.LocalQueueBandwidth()
+		fmt.Printf("%s %dB bandwidth: %.1f MB/s (%.2f of the %.0f MB/s local-queue bound)\n",
+			cfg.Name(), *size, bw, bw/bound, bound)
+	}
+	return nil
+}
+
+func runBench(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	app := fs.String("app", "spsolve", "benchmark name")
+	ni := fs.String("ni", "CNI16Qm", "NI design")
+	bus := fs.String("bus", "memory", "bus attachment")
+	nodes := fs.Int("nodes", 16, "node count")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg, err := parseConfig(*ni, *bus, *nodes)
+	if err != nil {
+		return err
+	}
+	res, err := cni.RunBenchmark(*app, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.String())
+	return nil
+}

@@ -1,0 +1,47 @@
+package main
+
+import "testing"
+
+func TestParseConfig(t *testing.T) {
+	cases := []struct {
+		ni, bus string
+		ok      bool
+	}{
+		{"NI2w", "memory", true},
+		{"ni2w", "cache", true},
+		{"CNI16Qm", "memory", true},
+		{"CNI16Qm", "io", false}, // invalid per §2.3
+		{"cni512q", "io", true},
+		{"bogus", "memory", false},
+		{"CNI4", "warp", false},
+	}
+	for _, c := range cases {
+		_, err := parseConfig(c.ni, c.bus, 2)
+		if c.ok && err != nil {
+			t.Errorf("parseConfig(%q,%q): unexpected error %v", c.ni, c.bus, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("parseConfig(%q,%q): expected error", c.ni, c.bus)
+		}
+	}
+}
+
+func TestRunStaticCommands(t *testing.T) {
+	for _, cmd := range []string{"list", "table1", "table2", "table3", "table4"} {
+		if err := run(cmd, nil); err != nil {
+			t.Errorf("run(%q): %v", cmd, err)
+		}
+	}
+	if err := run("bogus", nil); err == nil {
+		t.Error("unknown command should error")
+	}
+}
+
+func TestRunMicroCommands(t *testing.T) {
+	if err := run("latency", []string{"--ni=CNI512Q", "--bus=memory", "--size=32"}); err != nil {
+		t.Errorf("latency: %v", err)
+	}
+	if err := run("bandwidth", []string{"--ni=NI2w", "--bus=memory", "--size=64"}); err != nil {
+		t.Errorf("bandwidth: %v", err)
+	}
+}

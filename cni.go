@@ -1,0 +1,174 @@
+// Package cni is an open-source reproduction of "Coherent Network
+// Interfaces for Fine-Grain Communication" (Mukherjee, Falsafi, Hill
+// & Wood, ISCA 1996).
+//
+// The paper's idea: instead of uncachable device registers, let the
+// network interface participate in the node's snooping cache
+// coherence protocol. Two mechanisms make that pay off — cachable
+// device registers (CDRs) and cachable queues (CQs) with lazy
+// pointers, message valid bits, and sense reverse.
+//
+// The package exposes three layers:
+//
+//   - The CQ algorithm itself as a practical single-producer/
+//     single-consumer queue between goroutines (Queue, Register) —
+//     see cq.go.
+//
+//   - A full-system simulator of the paper's 16-node machine (MOESI
+//     snooping caches, multiplexed memory and I/O buses, an I/O
+//     bridge, the five NI designs NI2w/CNI4/CNI16Q/CNI512Q/CNI16Qm,
+//     and a sliding-window network), driven through Config and the
+//     micro/macro benchmark entry points below.
+//
+//   - The experiment harness that regenerates every table and figure
+//     in the paper's evaluation (Experiment, ExperimentNames).
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for
+// paper-vs-measured results.
+package cni
+
+import (
+	"fmt"
+
+	"repro/internal/apps"
+	"repro/internal/harness"
+	"repro/internal/machine"
+	"repro/internal/params"
+	"repro/internal/sim"
+)
+
+// Config selects a machine configuration: node count, NI design, bus
+// attachment, and optional features/ablations.
+type Config = params.Config
+
+// NIKind identifies one of the paper's five NI designs.
+type NIKind = params.NIKind
+
+// BusKind identifies where the NI attaches.
+type BusKind = params.BusKind
+
+// The five network interface designs (paper Table 1).
+const (
+	NI2w    = params.NI2w
+	CNI4    = params.CNI4
+	CNI16Q  = params.CNI16Q
+	CNI512Q = params.CNI512Q
+	CNI16Qm = params.CNI16Qm
+	// DMA is this reproduction's user-level-DMA comparator (the
+	// comparison the paper lists as its open weakness).
+	DMA = params.DMA
+)
+
+// NI attachment points (paper §4.1, §5).
+const (
+	CacheBus  = params.CacheBus
+	MemoryBus = params.MemoryBus
+	IOBus     = params.IOBus
+)
+
+// AllNIs lists the five designs in the paper's order.
+var AllNIs = params.AllNIs
+
+// Cycles is simulation time in 200 MHz processor cycles.
+type Cycles = sim.Time
+
+// Microseconds converts cycles to microseconds.
+func Microseconds(c Cycles) float64 { return machine.Microseconds(c) }
+
+// RoundTrip measures process-to-process round-trip latency (paper
+// Fig 6) for size-byte messages under cfg; rounds are averaged after
+// a warm-up. Returns cycles.
+func RoundTrip(cfg Config, size, rounds int) Cycles {
+	return apps.RoundTrip(cfg, size, rounds)
+}
+
+// Bandwidth measures sustainable process-to-process bandwidth (paper
+// Fig 7) in MB/s of user payload for size-byte messages under cfg.
+func Bandwidth(cfg Config, size, messages int) float64 {
+	return apps.Bandwidth(cfg, size, messages)
+}
+
+// LocalQueueBandwidth returns the paper's Fig 7 normalisation bound:
+// the cache-to-cache bandwidth of a local memory queue between two
+// processors on one coherent memory bus (paper: 144 MB/s).
+func LocalQueueBandwidth() float64 { return apps.LocalQueueBandwidth() }
+
+// Benchmarks lists the five macrobenchmark names (paper Table 3).
+func Benchmarks() []string {
+	var out []string
+	for _, a := range apps.All() {
+		out = append(out, a.Name())
+	}
+	return out
+}
+
+// RunBenchmark executes one macrobenchmark under cfg and returns its
+// result (runtime, bus occupancy, traffic).
+func RunBenchmark(name string, cfg Config) (apps.Result, error) {
+	a, err := apps.ByName(name)
+	if err != nil {
+		return apps.Result{}, err
+	}
+	return a.Run(cfg), nil
+}
+
+// Result is one macrobenchmark outcome.
+type Result = apps.Result
+
+// Table is a rendered experiment: paper-style rows with a String()
+// method.
+type Table = harness.Table
+
+// ExperimentNames lists the experiments Experiment accepts.
+func ExperimentNames() []string {
+	return []string{
+		"table1", "table2", "table3", "table4",
+		"fig6-memory", "fig6-io", "fig6-alt",
+		"fig7-memory", "fig7-io", "fig7-alt",
+		"fig8-memory", "fig8-io", "fig8-alt",
+		"occupancy", "ablation", "sweep", "dma",
+	}
+}
+
+// Experiment regenerates one of the paper's tables or figures (or one
+// of this reproduction's ablations). appNames narrows the Fig 8 /
+// occupancy sweeps to specific benchmarks (nil runs all five).
+func Experiment(name string, appNames []string) (*Table, error) {
+	switch name {
+	case "table1":
+		return harness.Table1(), nil
+	case "table2":
+		return harness.Table2(), nil
+	case "table3":
+		return harness.Table3(), nil
+	case "table4":
+		return harness.Table4(), nil
+	case "fig6-memory":
+		return harness.Fig6(params.MemoryBus), nil
+	case "fig6-io":
+		return harness.Fig6(params.IOBus), nil
+	case "fig6-alt":
+		return harness.Fig6Alt(), nil
+	case "fig7-memory":
+		return harness.Fig7(params.MemoryBus), nil
+	case "fig7-io":
+		return harness.Fig7(params.IOBus), nil
+	case "fig7-alt":
+		return harness.Fig7Alt(), nil
+	case "fig8-memory":
+		return harness.Fig8(params.MemoryBus, appNames), nil
+	case "fig8-io":
+		return harness.Fig8(params.IOBus, appNames), nil
+	case "fig8-alt":
+		return harness.Fig8Alt(appNames), nil
+	case "occupancy":
+		return harness.Occupancy(appNames), nil
+	case "ablation":
+		return harness.AblationCQ(), nil
+	case "sweep":
+		return harness.SweepQueueSize(), nil
+	case "dma":
+		return harness.DMAComparison(), nil
+	}
+	return nil, fmt.Errorf("cni: unknown experiment %q (want one of %v)", name, ExperimentNames())
+}

@@ -1,0 +1,22 @@
+package cni
+
+import "repro/internal/core"
+
+// Queue is the paper's cachable queue (§2.2) as a practical
+// single-producer/single-consumer queue between goroutines, with all
+// three optimisations: message valid bits (the consumer polls the
+// entry, not the tail pointer), sense reverse (the consumer never
+// writes entries to clear them), and lazy pointers (the producer
+// re-reads the shared head only when its shadow says the queue is
+// full). Create one with NewQueue.
+type Queue[T any] = core.Queue[T]
+
+// NewQueue creates a Queue with at least the given capacity (rounded
+// up to a power of two).
+func NewQueue[T any](capacity int) *Queue[T] { return core.New[T](capacity) }
+
+// Register is a cachable device register (§2.1) as a one-slot
+// producer/consumer mailbox with the CDR's explicit clear handshake:
+// Poll does not consume; the consumer must Clear (or Take) before the
+// producer can publish again. The zero value is ready to use.
+type Register[T any] = core.Register[T]

@@ -1,0 +1,58 @@
+// Latency sweeps process-to-process round-trip latency across message
+// sizes and NI designs — a miniature of the paper's Figure 6 — and
+// prints the improvement of each CNI over the NI2w baseline.
+//
+// Run with: go run ./examples/latency [--bus=memory|io]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	cni "repro"
+)
+
+func main() {
+	bus := flag.String("bus", "memory", "memory or io")
+	flag.Parse()
+
+	var busKind cni.BusKind
+	switch *bus {
+	case "memory":
+		busKind = cni.MemoryBus
+	case "io":
+		busKind = cni.IOBus
+	default:
+		fmt.Fprintln(os.Stderr, "latency: --bus must be memory or io")
+		os.Exit(2)
+	}
+
+	nis := []cni.NIKind{cni.NI2w, cni.CNI4, cni.CNI16Q, cni.CNI512Q, cni.CNI16Qm}
+	fmt.Printf("%-6s", "bytes")
+	for _, ni := range nis {
+		if ni == cni.CNI16Qm && busKind == cni.IOBus {
+			continue // CNI16Qm cannot live on the I/O bus (§2.3)
+		}
+		fmt.Printf("%12s", ni)
+	}
+	fmt.Println("   (round-trip, microseconds)")
+
+	for _, size := range []int{8, 16, 32, 64, 128, 256} {
+		fmt.Printf("%-6d", size)
+		var base float64
+		for _, ni := range nis {
+			if ni == cni.CNI16Qm && busKind == cni.IOBus {
+				continue
+			}
+			cfg := cni.Config{Nodes: 2, NI: ni, Bus: busKind}
+			us := cni.Microseconds(cni.RoundTrip(cfg, size, 4))
+			if ni == cni.NI2w {
+				base = us
+			}
+			fmt.Printf("%12.2f", us)
+			_ = base
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,46 @@
+// Macro runs one of the paper's five macrobenchmarks on a 16-node
+// simulated machine for every applicable NI design and prints the
+// Figure 8-style speedups over the NI2w baseline.
+//
+// Run with: go run ./examples/macro [--app=spsolve] [--bus=memory|io]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	cni "repro"
+)
+
+func main() {
+	app := flag.String("app", "spsolve", "one of: spsolve gauss em3d moldyn appbt")
+	bus := flag.String("bus", "memory", "memory or io")
+	flag.Parse()
+
+	busKind := cni.MemoryBus
+	if *bus == "io" {
+		busKind = cni.IOBus
+	}
+
+	base, err := cni.RunBenchmark(*app, cni.Config{Nodes: 16, NI: cni.NI2w, Bus: cni.MemoryBus})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s on 16 nodes (baseline NI2w@memory: %.0f us, %d network messages)\n",
+		*app, base.Micros(), base.Messages)
+
+	for _, ni := range cni.AllNIs {
+		cfg := cni.Config{Nodes: 16, NI: ni, Bus: busKind}
+		if cfg.Validate() != nil {
+			continue // e.g. CNI16Qm cannot live on the I/O bus
+		}
+		res, err := cni.RunBenchmark(*app, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-16s %8.0f us   speedup %.2fx   bus occupancy %5.1f%% of baseline\n",
+			cfg.Name(), res.Micros(), res.SpeedupOver(base),
+			100*float64(res.MemBusOccupancy)/float64(base.MemBusOccupancy))
+	}
+}

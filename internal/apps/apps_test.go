@@ -1,0 +1,138 @@
+package apps
+
+import (
+	"testing"
+
+	"repro/internal/params"
+)
+
+func cfg16(ni params.NIKind) params.Config {
+	return params.Config{Nodes: 16, NI: ni, Bus: params.MemoryBus}
+}
+
+func TestRandDeterministic(t *testing.T) {
+	a, b := NewRand(7), NewRand(7)
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	if NewRand(1).Next() == NewRand(2).Next() {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestRandIntnBounds(t *testing.T) {
+	r := NewRand(5)
+	for i := 0; i < 1000; i++ {
+		if v := r.Intn(7); v < 0 || v >= 7 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		if f := r.Float(); f < 0 || f >= 1 {
+			t.Fatalf("Float out of range: %v", f)
+		}
+	}
+}
+
+func TestRoundTripBasic(t *testing.T) {
+	rtt := RoundTrip(params.Config{NI: params.CNI512Q, Bus: params.MemoryBus}, 64, 3)
+	if rtt < 2*params.NetLatency || rtt > 5000 {
+		t.Fatalf("RTT = %d, implausible", rtt)
+	}
+}
+
+func TestRoundTripMonotonicInSize(t *testing.T) {
+	cfg := params.Config{NI: params.CNI512Q, Bus: params.MemoryBus}
+	prev := RoundTrip(cfg, 8, 2)
+	for _, size := range []int{64, 256, 1024} {
+		rtt := RoundTrip(cfg, size, 2)
+		if rtt < prev {
+			t.Errorf("RTT(%d) = %d < RTT of smaller size %d", size, rtt, prev)
+		}
+		prev = rtt
+	}
+}
+
+func TestBandwidthOrdering(t *testing.T) {
+	// Fig 7a at a moderate size: every CNI beats NI2w.
+	size, msgs := 1024, 30
+	ni2w := Bandwidth(params.Config{NI: params.NI2w, Bus: params.MemoryBus}, size, msgs)
+	cni := Bandwidth(params.Config{NI: params.CNI512Q, Bus: params.MemoryBus}, size, msgs)
+	t.Logf("1KB bandwidth: NI2w=%.0f MB/s CNI512Q=%.0f MB/s", ni2w, cni)
+	if cni <= ni2w {
+		t.Errorf("CNI512Q bandwidth %.0f should beat NI2w %.0f", cni, ni2w)
+	}
+	if ni2w <= 0 || cni <= 0 {
+		t.Error("bandwidth must be positive")
+	}
+}
+
+func TestLocalQueueBandwidthNearPaper(t *testing.T) {
+	bw := LocalQueueBandwidth()
+	t.Logf("local queue bound = %.0f MB/s (paper: 144)", bw)
+	if bw < 130 || bw > 170 {
+		t.Errorf("local queue bandwidth %.0f MB/s outside the calibration band", bw)
+	}
+}
+
+func TestAllAppsListed(t *testing.T) {
+	apps := All()
+	if len(apps) != 5 {
+		t.Fatalf("All() returned %d apps, want 5", len(apps))
+	}
+	want := []string{"spsolve", "gauss", "em3d", "moldyn", "appbt"}
+	for i, a := range apps {
+		if a.Name() != want[i] {
+			t.Errorf("app %d = %s, want %s", i, a.Name(), want[i])
+		}
+		if a.KeyComm() == "" || a.Input() == "" {
+			t.Errorf("%s missing Table 3 metadata", a.Name())
+		}
+	}
+	if _, err := ByName("gauss"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("ByName should fail for unknown apps")
+	}
+}
+
+// TestAppsCompleteOn16Nodes is the paper's configuration smoke test:
+// every macrobenchmark must run to completion on 16 nodes with the
+// best memory-bus CNI and produce sane statistics.
+func TestAppsCompleteOn16Nodes(t *testing.T) {
+	for _, app := range All() {
+		res := app.Run(cfg16(params.CNI16Qm))
+		t.Logf("%s: %.0f us, %d net msgs", app.Name(), res.Micros(), res.Messages)
+		if res.Cycles == 0 {
+			t.Errorf("%s: zero cycles", app.Name())
+		}
+		if res.Messages == 0 {
+			t.Errorf("%s: no network traffic", app.Name())
+		}
+		if res.MemBusOccupancy == 0 {
+			t.Errorf("%s: no bus occupancy", app.Name())
+		}
+	}
+}
+
+// TestAppsDeterministic re-runs one app and expects identical cycles.
+func TestAppsDeterministic(t *testing.T) {
+	a := NewEm3d().Run(cfg16(params.CNI512Q))
+	b := NewEm3d().Run(cfg16(params.CNI512Q))
+	if a.Cycles != b.Cycles {
+		t.Fatalf("nondeterministic: %d vs %d", a.Cycles, b.Cycles)
+	}
+}
+
+// TestSpsolveCNIBeatsBaseline checks the Fig 8a headline for the most
+// communication-bound app.
+func TestSpsolveCNIBeatsBaseline(t *testing.T) {
+	base := NewSpsolve().Run(cfg16(params.NI2w))
+	best := NewSpsolve().Run(cfg16(params.CNI16Qm))
+	sp := best.SpeedupOver(base)
+	t.Logf("spsolve speedup CNI16Qm vs NI2w = %.2f", sp)
+	if sp <= 1.0 {
+		t.Errorf("CNI16Qm should speed spsolve up, got %.2f", sp)
+	}
+}

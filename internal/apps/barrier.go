@@ -1,0 +1,74 @@
+package apps
+
+import (
+	"repro/internal/machine"
+	"repro/internal/msg"
+	"repro/internal/sim"
+)
+
+// Reserved active-message handler ids. Applications use ids >= HApp.
+const (
+	hBarrierArrive  = 90
+	hBarrierRelease = 91
+	// HApp is the first handler id available to workloads.
+	HApp = 100
+)
+
+// Barrier is a centralised barrier built from active messages:
+// everyone reports to node 0; when node 0 has seen every node
+// (including itself) arrive, it broadcasts the release. Good enough
+// for workload phase structure (the paper's applications use library
+// barriers similarly).
+type Barrier struct {
+	m        *machine.Machine
+	arrived  int
+	entered  []int // per-node wait generation
+	released []int // per-node release generation
+}
+
+// NewBarrier wires barrier handlers on every node of m.
+func NewBarrier(m *machine.Machine) *Barrier {
+	b := &Barrier{
+		m:        m,
+		entered:  make([]int, len(m.Nodes)),
+		released: make([]int, len(m.Nodes)),
+	}
+	for _, n := range m.Nodes {
+		node := n.ID
+		n.Msgr.Register(hBarrierArrive, func(ctx *msg.Context) {
+			b.arriveAtRoot(ctx.P, ctx.M)
+		})
+		n.Msgr.Register(hBarrierRelease, func(ctx *msg.Context) {
+			b.released[node]++
+		})
+	}
+	return b
+}
+
+// arriveAtRoot tallies one arrival; it always executes on node 0
+// (either in the arrive handler or directly from node 0's Wait).
+func (b *Barrier) arriveAtRoot(p *sim.Process, ms *msg.Messenger) {
+	b.arrived++
+	if b.arrived < len(b.m.Nodes) {
+		return
+	}
+	b.arrived = 0
+	for _, n := range b.m.Nodes {
+		if n.ID != 0 {
+			ms.Send(p, n.ID, hBarrierRelease, 8, nil)
+		}
+	}
+	b.released[0]++
+}
+
+// Wait blocks node n at the barrier until every node has arrived.
+func (b *Barrier) Wait(p *sim.Process, n *machine.Node) {
+	b.entered[n.ID]++
+	want := b.entered[n.ID]
+	if n.ID == 0 {
+		b.arriveAtRoot(p, n.Msgr)
+	} else {
+		n.Msgr.Send(p, 0, hBarrierArrive, 8, nil)
+	}
+	n.Msgr.PollUntil(p, func() bool { return b.released[n.ID] >= want })
+}

@@ -1,0 +1,40 @@
+package apps
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/params"
+	"repro/internal/sim"
+)
+
+// TestDebugSpsolveCounters prints aggregate counters for spsolve on
+// the queue-based CNIs, used while validating the flow-control model
+// against the paper's §5.2 narrative.
+func TestDebugSpsolveCounters(t *testing.T) {
+	if testing.Short() {
+		t.Skip("debug diagnostics")
+	}
+	interesting := func(name string) bool {
+		return strings.HasPrefix(name, "tx.") ||
+			strings.HasPrefix(name, "net.") ||
+			strings.Contains(name, "send.full") ||
+			strings.Contains(name, "swbuffered") ||
+			strings.Contains(name, "headrefresh") ||
+			strings.Contains(name, "qfull") ||
+			strings.Contains(name, "send.block") ||
+			strings.Contains(name, "overflowWB")
+	}
+	defer func() { StatsDump = nil }()
+	for _, ni := range []params.NIKind{params.CNI4, params.CNI16Q, params.CNI512Q, params.CNI16Qm} {
+		StatsDump = func(cfg params.Config, st *sim.Stats) {
+			for _, name := range st.Counters() {
+				if interesting(name) {
+					t.Logf("  %-40s %d", name, st.Get(name))
+				}
+			}
+		}
+		res := NewSpsolve().Run(cfg16(ni))
+		t.Logf("%s total: %d cycles, %d msgs", ni, res.Cycles, res.Messages)
+	}
+}

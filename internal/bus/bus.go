@@ -1,0 +1,80 @@
+package bus
+
+import (
+	"repro/internal/params"
+	"repro/internal/sim"
+)
+
+// Bus is one multiplexed snooping bus: a FIFO-arbitrated resource that
+// admits a single outstanding transaction, plus the set of snooping
+// agents attached to it.
+type Bus struct {
+	eng   *sim.Engine
+	stats *sim.Stats
+	kind  params.BusKind
+	name  string
+
+	mu     sim.FIFOMutex
+	agents []Agent
+	busy   *sim.BusyTracker
+}
+
+// New creates a bus of the given kind. Stats keys are prefixed with
+// the bus name (e.g. "bus.mem0").
+func New(e *sim.Engine, st *sim.Stats, kind params.BusKind, name string) *Bus {
+	return &Bus{
+		eng:   e,
+		stats: st,
+		kind:  kind,
+		name:  name,
+		busy:  st.Busy(name),
+	}
+}
+
+// Kind returns the bus kind (memory or I/O).
+func (b *Bus) Kind() params.BusKind { return b.kind }
+
+// BusName returns the stats/trace name.
+func (b *Bus) BusName() string { return b.name }
+
+// Attach registers an agent as a snooper on this bus.
+func (b *Bus) Attach(a Agent) { b.agents = append(b.agents, a) }
+
+// Acquire arbitrates for the bus (FIFO).
+func (b *Bus) Acquire(p *sim.Process) { b.mu.Lock(p) }
+
+// Release frees the bus for the next waiter.
+func (b *Bus) Release() { b.mu.Unlock() }
+
+// Occupy accounts d cycles of occupancy while the caller holds the bus
+// and advances the caller by d cycles.
+func (b *Bus) Occupy(p *sim.Process, d sim.Time) {
+	b.busy.AddBusy(d)
+	b.stats.Add(b.name+".cycles", uint64(d))
+	p.Sleep(d)
+}
+
+// snoopAll presents tx to every attached agent except the initiator,
+// folding their responses. home is the home agent for tx.Addr (may be
+// attached to a different bus; pass nil here if so).
+func (b *Bus) snoopAll(tx *Tx, home Agent) (shared bool, supplier Agent) {
+	for _, a := range b.agents {
+		if a == tx.Initiator {
+			continue
+		}
+		s := a.SnoopTx(tx, a == home)
+		if s.HasCopy {
+			shared = true
+		}
+		if s.WillSupply {
+			supplier = a
+		}
+	}
+	return shared, supplier
+}
+
+// Busy returns the occupancy tracker (for §5.2 occupancy results).
+func (b *Bus) Busy() *sim.BusyTracker { return b.busy }
+
+// QueueLen reports how many processes are waiting for the bus.
+func (b *Bus) QueueLen() int { return b.mu.QueueLen() }

@@ -1,0 +1,222 @@
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/bus"
+	"repro/internal/params"
+	"repro/internal/sim"
+)
+
+// line is one direct-mapped cache line (tags only: the simulation is
+// timing-directed, payload bytes travel in the logical message layer).
+type line struct {
+	tag   uint64 // block address
+	state State
+}
+
+// Cache is a direct-mapped MOESI cache attached to the memory bus.
+// It serves the simulated processor's cachable loads and stores and
+// snoops every coherent bus transaction.
+type Cache struct {
+	eng    *sim.Engine
+	stats  *sim.Stats
+	fabric *bus.Fabric
+	name   string
+
+	nlines    uint64
+	lines     []line
+	blockMask uint64
+
+	// Snarfing: load a block from an observed writeback when the
+	// direct-mapped frame holds the same tag in Invalid state (§5.1.2).
+	Snarf bool
+}
+
+// New creates a cache of sizeBytes with 64-byte blocks and attaches it
+// to the fabric's memory bus.
+func New(e *sim.Engine, st *sim.Stats, f *bus.Fabric, name string, sizeBytes int) *Cache {
+	n := uint64(sizeBytes / params.BlockBytes)
+	if n == 0 || n&(n-1) != 0 {
+		panic(fmt.Sprintf("cache: size %d is not a power-of-two number of blocks", sizeBytes))
+	}
+	c := &Cache{
+		eng:       e,
+		stats:     st,
+		fabric:    f,
+		name:      name,
+		nlines:    n,
+		lines:     make([]line, n),
+		blockMask: ^uint64(params.BlockBytes - 1),
+	}
+	f.Attach(c, params.MemoryBus)
+	return c
+}
+
+// AgentName implements bus.Agent.
+func (c *Cache) AgentName() string { return c.name }
+
+// AgentClass implements bus.Agent.
+func (c *Cache) AgentClass() params.AgentClass { return params.ClassProc }
+
+func (c *Cache) index(blk uint64) uint64 {
+	return (blk / params.BlockBytes) & (c.nlines - 1)
+}
+
+// StateOf returns the coherence state the cache holds for addr's block
+// (Invalid if absent). Exposed for tests and assertions.
+func (c *Cache) StateOf(addr uint64) State {
+	blk := addr & c.blockMask
+	l := &c.lines[c.index(blk)]
+	if l.tag == blk && l.state.Valid() {
+		return l.state
+	}
+	return Invalid
+}
+
+// Load performs one processor load (up to 8 bytes) at addr.
+// Hits cost params.HitCycles; misses evict + fill over the bus.
+func (c *Cache) Load(p *sim.Process, addr uint64) {
+	blk := addr & c.blockMask
+	l := &c.lines[c.index(blk)]
+	if l.tag == blk && l.state.Valid() {
+		c.stats.Inc(c.name + ".load.hit")
+		p.Sleep(params.HitCycles)
+		return
+	}
+	c.stats.Inc(c.name + ".load.miss")
+	c.evict(p, l)
+	res := c.fabric.Do(p, bus.Tx{Kind: bus.CR, Addr: blk, Initiator: c})
+	l.tag = blk
+	if res.Shared {
+		l.state = Shared
+	} else {
+		l.state = Exclusive
+	}
+}
+
+// Store performs one processor store (up to 8 bytes) at addr.
+// Stores to Modified/Exclusive lines hit; anything else issues a
+// coherent read-invalidate (see DESIGN.md bandwidth calibration).
+func (c *Cache) Store(p *sim.Process, addr uint64) {
+	blk := addr & c.blockMask
+	l := &c.lines[c.index(blk)]
+	if l.tag == blk {
+		switch l.state {
+		case Modified:
+			c.stats.Inc(c.name + ".store.hit")
+			p.Sleep(params.HitCycles)
+			return
+		case Exclusive:
+			c.stats.Inc(c.name + ".store.hit")
+			l.state = Modified
+			p.Sleep(params.HitCycles)
+			return
+		}
+	}
+	c.stats.Inc(c.name + ".store.miss")
+	if l.tag != blk {
+		c.evict(p, l)
+	}
+	c.fabric.Do(p, bus.Tx{Kind: bus.CRI, Addr: blk, Initiator: c})
+	l.tag = blk
+	l.state = Modified
+}
+
+// evict writes back the current occupant of l if it is dirty.
+func (c *Cache) evict(p *sim.Process, l *line) {
+	if !l.state.Dirty() {
+		l.state = Invalid
+		return
+	}
+	c.stats.Inc(c.name + ".writeback")
+	addr := l.tag
+	l.state = Invalid
+	c.fabric.Do(p, bus.Tx{Kind: bus.WB, Addr: addr, Initiator: c})
+}
+
+// FlushBlock writes addr's block back (if dirty) and invalidates it;
+// used by tests and by software-managed flush sequences.
+func (c *Cache) FlushBlock(p *sim.Process, addr uint64) {
+	blk := addr & c.blockMask
+	l := &c.lines[c.index(blk)]
+	if l.tag != blk || !l.state.Valid() {
+		return
+	}
+	c.evict(p, l)
+}
+
+// SnoopTx implements bus.Agent: the MOESI snooping side.
+func (c *Cache) SnoopTx(tx *bus.Tx, isHome bool) bus.Snoop {
+	blk := tx.Addr & c.blockMask
+	l := &c.lines[c.index(blk)]
+	if l.tag != blk || !l.state.Valid() {
+		if tx.Kind == bus.WB && c.Snarf && l.tag == blk {
+			// Data snarfing: frame already allocated to this tag, in
+			// Invalid state; capture the block from the writeback.
+			l.state = Shared
+			c.stats.Inc(c.name + ".snarf")
+			return bus.Snoop{HasCopy: true}
+		}
+		if tx.Kind == bus.UP && l.tag == blk {
+			// Update push: refill the invalidated frame in place.
+			l.state = Shared
+			c.stats.Inc(c.name + ".update")
+			return bus.Snoop{HasCopy: true}
+		}
+		return bus.Snoop{}
+	}
+	switch tx.Kind {
+	case bus.CR:
+		sn := bus.Snoop{HasCopy: true, WillSupply: l.state.CanSupply()}
+		switch l.state {
+		case Modified:
+			l.state = Owned
+		case Exclusive:
+			l.state = Shared
+		}
+		return sn
+	case bus.CRI:
+		sn := bus.Snoop{HasCopy: true, WillSupply: l.state.CanSupply()}
+		l.state = Invalid
+		return sn
+	case bus.CI:
+		l.state = Invalid
+		return bus.Snoop{HasCopy: true}
+	case bus.WB:
+		// Another agent wrote the block back to its home; our copy (if
+		// we somehow held one) is unaffected under MOESI.
+		return bus.Snoop{HasCopy: true}
+	case bus.UP:
+		// An update push refreshes our (valid) copy in place.
+		return bus.Snoop{HasCopy: true}
+	}
+	return bus.Snoop{}
+}
+
+// Memory is the main-memory home agent on the memory bus. It supplies
+// data when no cache owns a block and absorbs writebacks. Timing is
+// carried entirely by the bus transfer costs (Table 2's 42-cycle
+// memory-to-cache transfer equals the cache-to-cache cost).
+type Memory struct {
+	name string
+}
+
+// NewMemory creates the memory agent and attaches it to the fabric.
+func NewMemory(f *bus.Fabric, name string) *Memory {
+	m := &Memory{name: name}
+	f.Attach(m, params.MemoryBus)
+	return m
+}
+
+// AgentName implements bus.Agent.
+func (m *Memory) AgentName() string { return m.name }
+
+// AgentClass implements bus.Agent.
+func (m *Memory) AgentClass() params.AgentClass { return params.ClassMemory }
+
+// SnoopTx implements bus.Agent. Memory is passive: the fabric routes
+// supply duty to the home when no cache owner responds.
+func (m *Memory) SnoopTx(tx *bus.Tx, isHome bool) bus.Snoop {
+	return bus.Snoop{}
+}

@@ -1,0 +1,143 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+// TestPropertyMOESIInvariants drives a three-cache system with random
+// load/store sequences and checks the protocol invariants after every
+// operation:
+//
+//   - at most one cache holds a block in M, E, or O (single owner);
+//   - if any cache holds M or E, no other cache holds the block at
+//     all (exclusivity);
+//   - two sharers imply every copy is S or O (no silent exclusives).
+func TestPropertyMOESIInvariants(t *testing.T) {
+	type op struct {
+		Cache uint8
+		Block uint8
+		Write bool
+	}
+	f := func(ops []op) bool {
+		e := sim.NewEngine()
+		r := newRig(&testing.T{}, 4096)
+		caches := []*Cache{r.c0, r.c1, New(e, r.st, r.fab, "n0.c2", 4096)}
+		_ = e
+		ok := true
+		r.run(func(p *sim.Process) {
+			for _, o := range ops {
+				c := caches[int(o.Cache)%len(caches)]
+				addr := uint64(o.Block%32) * 64
+				if o.Write {
+					c.Store(p, addr)
+				} else {
+					c.Load(p, addr)
+				}
+				if !checkMOESI(caches, addr) {
+					ok = false
+					return
+				}
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// checkMOESI validates the single-owner/exclusivity invariants for one
+// block across the caches.
+func checkMOESI(caches []*Cache, addr uint64) bool {
+	owners, copies, exclusives := 0, 0, 0
+	for _, c := range caches {
+		switch c.StateOf(addr) {
+		case Modified, Exclusive:
+			owners++
+			exclusives++
+			copies++
+		case Owned:
+			owners++
+			copies++
+		case Shared:
+			copies++
+		}
+	}
+	if owners > 1 {
+		return false
+	}
+	if exclusives > 0 && copies > 1 {
+		return false
+	}
+	return true
+}
+
+// TestPropertyWritebackNeverLosesOwnership: random conflict-heavy
+// traffic (two blocks aliasing each frame) must keep the invariants
+// through evictions and writebacks.
+func TestPropertyEvictionStorm(t *testing.T) {
+	f := func(seq []uint8) bool {
+		r := newRig(&testing.T{}, 1024) // 16 frames: heavy conflicts
+		ok := true
+		r.run(func(p *sim.Process) {
+			for _, s := range seq {
+				c := r.c0
+				if s&1 == 1 {
+					c = r.c1
+				}
+				// Two aliasing working sets: block b and b + 1024.
+				addr := uint64(s%16)*64 + uint64(s&2)*512
+				if s&4 == 4 {
+					c.Store(p, addr)
+				} else {
+					c.Load(p, addr)
+				}
+				if !checkMOESI([]*Cache{r.c0, r.c1}, addr) {
+					ok = false
+					return
+				}
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyTimingPositive: every operation takes at least one
+// cycle, and misses cost at least a bus transfer.
+func TestPropertyTimingSane(t *testing.T) {
+	f := func(blocks []uint8) bool {
+		r := newRig(&testing.T{}, 4096)
+		ok := true
+		r.run(func(p *sim.Process) {
+			for _, b := range blocks {
+				addr := uint64(b) * 64
+				before := p.Now()
+				wasHit := r.c0.StateOf(addr).Valid()
+				r.c0.Load(p, addr)
+				d := p.Now() - before
+				if d < 1 {
+					ok = false
+					return
+				}
+				if !wasHit && d < 42 {
+					ok = false
+					return
+				}
+				if wasHit && d != 1 {
+					ok = false
+					return
+				}
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,317 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestFIFOOrderSingleThread(t *testing.T) {
+	q := New[int](8)
+	for i := 0; i < 8; i++ {
+		if !q.TryEnqueue(i) {
+			t.Fatalf("enqueue %d failed on empty queue", i)
+		}
+	}
+	if q.TryEnqueue(99) {
+		t.Fatal("enqueue succeeded on full queue")
+	}
+	for i := 0; i < 8; i++ {
+		v, ok := q.TryDequeue()
+		if !ok || v != i {
+			t.Fatalf("dequeue = (%d,%v), want (%d,true)", v, ok, i)
+		}
+	}
+	if _, ok := q.TryDequeue(); ok {
+		t.Fatal("dequeue succeeded on empty queue")
+	}
+}
+
+func TestCapacityRounding(t *testing.T) {
+	cases := map[int]int{1: 2, 2: 2, 3: 4, 5: 8, 8: 8, 9: 16, 1000: 1024}
+	for in, want := range cases {
+		if got := New[int](in).Cap(); got != want {
+			t.Errorf("New(%d).Cap() = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestSenseAlternatesPerLap(t *testing.T) {
+	q := New[int](4)
+	// Lap 0 positions 0..3 have sense 1, lap 1 has sense 0, etc.
+	for pos := uint64(0); pos < 16; pos++ {
+		want := uint32(1 - (pos/4)%2)
+		if got := q.sense(pos); got != want {
+			t.Fatalf("sense(%d) = %d, want %d", pos, got, want)
+		}
+	}
+}
+
+func TestManyLapsNoCorruption(t *testing.T) {
+	q := New[int](4)
+	for i := 0; i < 1000; i++ {
+		if !q.TryEnqueue(i) {
+			t.Fatalf("enqueue %d failed", i)
+		}
+		v, ok := q.TryDequeue()
+		if !ok || v != i {
+			t.Fatalf("lap test: dequeue = (%d,%v), want (%d,true)", v, ok, i)
+		}
+	}
+}
+
+func TestPeekDoesNotConsume(t *testing.T) {
+	q := New[string](4)
+	if _, ok := q.Peek(); ok {
+		t.Fatal("Peek on empty queue returned ok")
+	}
+	q.TryEnqueue("a")
+	for i := 0; i < 3; i++ {
+		v, ok := q.Peek()
+		if !ok || v != "a" {
+			t.Fatalf("Peek = (%q,%v), want (a,true)", v, ok)
+		}
+	}
+	if v, _ := q.TryDequeue(); v != "a" {
+		t.Fatal("Dequeue after Peek lost the value")
+	}
+}
+
+func TestLazyPointerRefreshTwicePerPass(t *testing.T) {
+	q := New[int](8)
+	// Fill half, drain half, repeatedly. The paper (§2.2): "If the
+	// queue is no more than half full on average, then the sender needs
+	// to check head — and incur a cache miss — only twice each time
+	// around the array."
+	const rounds = 10
+	for round := 0; round < rounds; round++ {
+		for i := 0; i < 4; i++ {
+			q.TryEnqueue(i)
+		}
+		for i := 0; i < 4; i++ {
+			q.TryDequeue()
+		}
+	}
+	passes := uint64(rounds * 4 / q.Cap())
+	if q.FullMisses() > 2*passes {
+		t.Fatalf("FullMisses = %d, want <= %d (twice per pass)", q.FullMisses(), 2*passes)
+	}
+	// Now force wrap-around against a full queue.
+	for i := 0; i < 8; i++ {
+		q.TryEnqueue(i)
+	}
+	q.TryEnqueue(99) // full: must refresh
+	if q.FullMisses() == 0 {
+		t.Fatal("FullMisses = 0 after enqueue on full queue")
+	}
+}
+
+func TestConsumerLen(t *testing.T) {
+	q := New[int](8)
+	for i := 0; i < 5; i++ {
+		q.TryEnqueue(i)
+	}
+	if got := q.ConsumerLen(); got != 5 {
+		t.Fatalf("ConsumerLen = %d, want 5", got)
+	}
+	q.TryDequeue()
+	if got := q.ConsumerLen(); got != 4 {
+		t.Fatalf("ConsumerLen = %d, want 4", got)
+	}
+}
+
+// TestPropertyDrainMatchesFill: property-based check that for any
+// pattern of enqueues/dequeues the values drained are a prefix-ordered
+// subsequence equal to the values inserted (no loss, no duplication,
+// no reordering).
+func TestPropertyDrainMatchesFill(t *testing.T) {
+	f := func(ops []uint8, capSeed uint8) bool {
+		capacity := int(capSeed%31) + 2
+		q := New[int](capacity)
+		next := 0
+		var sent, got []int
+		for _, op := range ops {
+			if op%2 == 0 {
+				if q.TryEnqueue(next) {
+					sent = append(sent, next)
+				}
+				next++
+			} else {
+				if v, ok := q.TryDequeue(); ok {
+					got = append(got, v)
+				}
+			}
+		}
+		for {
+			v, ok := q.TryDequeue()
+			if !ok {
+				break
+			}
+			got = append(got, v)
+		}
+		if len(sent) != len(got) {
+			return false
+		}
+		for i := range sent {
+			if sent[i] != got[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyNeverExceedsCapacity: occupancy never exceeds capacity
+// and TryEnqueue fails exactly when occupancy == capacity.
+func TestPropertyNeverExceedsCapacity(t *testing.T) {
+	f := func(ops []bool, capSeed uint8) bool {
+		capacity := int(capSeed%15) + 2
+		q := New[int](capacity)
+		occ := 0
+		for _, enq := range ops {
+			if enq {
+				if q.TryEnqueue(1) {
+					occ++
+				} else if occ != q.Cap() {
+					return false // refused while not full
+				}
+			} else {
+				if _, ok := q.TryDequeue(); ok {
+					occ--
+				} else if occ != 0 {
+					return false // empty while occupied
+				}
+			}
+			if occ < 0 || occ > q.Cap() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentProducerConsumer exercises the cross-goroutine
+// happens-before edges (run with -race).
+func TestConcurrentProducerConsumer(t *testing.T) {
+	const n = 20000
+	q := New[int](64)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	errs := make(chan string, 1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			q.Enqueue(i)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			if v := q.Dequeue(); v != i {
+				select {
+				case errs <- "out of order":
+				default:
+				}
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	select {
+	case e := <-errs:
+		t.Fatal(e)
+	default:
+	}
+}
+
+func TestRegisterHandshake(t *testing.T) {
+	var r Register[int]
+	if _, ok := r.Poll(); ok {
+		t.Fatal("Poll on empty register returned ok")
+	}
+	if !r.TryPublish(7) {
+		t.Fatal("TryPublish failed on clear register")
+	}
+	if r.TryPublish(8) {
+		t.Fatal("TryPublish succeeded before Clear (handshake violated)")
+	}
+	v, ok := r.Poll()
+	if !ok || v != 7 {
+		t.Fatalf("Poll = (%d,%v), want (7,true)", v, ok)
+	}
+	// Poll does not clear: the CDR's clear is explicit.
+	if _, ok := r.Poll(); !ok {
+		t.Fatal("second Poll lost the value")
+	}
+	r.Clear()
+	if _, ok := r.Poll(); ok {
+		t.Fatal("Poll returned ok after Clear")
+	}
+	if !r.TryPublish(9) {
+		t.Fatal("TryPublish failed after Clear")
+	}
+	v, ok = r.Take()
+	if !ok || v != 9 {
+		t.Fatalf("Take = (%d,%v), want (9,true)", v, ok)
+	}
+	if _, ok := r.Take(); ok {
+		t.Fatal("Take on cleared register returned ok")
+	}
+}
+
+func TestRegisterConcurrent(t *testing.T) {
+	var r Register[int]
+	const n = 5000
+	done := make(chan bool)
+	go func() {
+		for i := 0; i < n; i++ {
+			r.Publish(i)
+		}
+		done <- true
+	}()
+	prev := -1
+	for got := 0; got < n; {
+		v, ok := r.Take()
+		if !ok {
+			runtime.Gosched() // single-CPU friendliness: let the producer run
+			continue
+		}
+		if v != prev+1 {
+			t.Fatalf("register skipped: %d after %d", v, prev)
+		}
+		prev = v
+		got++
+	}
+	<-done
+}
+
+func BenchmarkQueueEnqueueDequeue(b *testing.B) {
+	q := New[int](1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q.TryEnqueue(i)
+		q.TryDequeue()
+	}
+}
+
+func BenchmarkQueueConcurrent(b *testing.B) {
+	q := New[int](1024)
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < b.N; i++ {
+			q.Enqueue(i)
+		}
+		close(done)
+	}()
+	for i := 0; i < b.N; i++ {
+		q.Dequeue()
+	}
+	<-done
+}

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// Register is the software analogue of a cachable device register
+// (CDR, §2.1): a single coherent "block" used to pass one value at a
+// time from a producer to a consumer. Unlike Queue there is no ring —
+// reuse is the explicit handshake the paper describes: the consumer
+// must Clear the register before the producer can publish again,
+// mirroring the CDR's explicit clear operation (the paper's
+// three-cycle handshake collapses to one atomic transition here).
+//
+// Poll is wait-free and, like a CDR, touches only the register itself,
+// so an unchanged register costs the consumer nothing but a read.
+type Register[T any] struct {
+	state atomic.Uint32 // 0 = empty (cleared), 1 = full (published)
+	val   T
+}
+
+// TryPublish stores v if the register is clear and reports success.
+func (r *Register[T]) TryPublish(v T) bool {
+	if r.state.Load() != 0 {
+		return false
+	}
+	r.val = v
+	r.state.Store(1) // release
+	return true
+}
+
+// Publish stores v, spinning until the consumer clears the register.
+func (r *Register[T]) Publish(v T) {
+	for !r.TryPublish(v) {
+		runtime.Gosched()
+	}
+}
+
+// Poll returns the current value if one is published. It does not
+// clear the register; repeated polls return the same value.
+func (r *Register[T]) Poll() (v T, ok bool) {
+	if r.state.Load() != 1 {
+		return v, false
+	}
+	return r.val, true
+}
+
+// Clear completes the handshake, making the register reusable.
+// Calling Clear on an empty register is a no-op.
+func (r *Register[T]) Clear() { r.state.Store(0) }
+
+// Take polls and, if a value is present, clears in one step.
+func (r *Register[T]) Take() (v T, ok bool) {
+	v, ok = r.Poll()
+	if ok {
+		r.Clear()
+	}
+	return v, ok
+}

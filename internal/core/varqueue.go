@@ -1,0 +1,167 @@
+package core
+
+import (
+	"math/bits"
+	"runtime"
+	"sync/atomic"
+)
+
+// VarQueue generalises the cachable queue to variable-length messages
+// (the paper's footnote 2: "CQs can be generalized to variable length
+// messages in a straight-forward manner"). The ring stores bytes;
+// each record is a length word followed by the payload, and the
+// length word doubles as the valid flag: its top bit carries the
+// sense of the lap that wrote it, so — exactly as in the fixed-size
+// queue — the consumer polls the record header, never the tail
+// pointer, and never writes the ring to clear it.
+//
+// Records never wrap: a record that would cross the end of the ring
+// is preceded by a skip marker (length 0 with the current sense) and
+// placed at the start. Single producer, single consumer.
+type VarQueue struct {
+	size uint64 // bytes, power of two
+	mask uint64
+	buf  []byte
+	hdr  []atomic.Uint64 // one header slot per 8-byte position
+
+	_ pad
+	// Producer-private.
+	tail       uint64 // byte position (monotonic)
+	shadowHead uint64
+	fullMisses uint64
+
+	_ pad
+	// Consumer-private.
+	head uint64
+
+	_             pad
+	publishedHead atomic.Uint64
+}
+
+const varAlign = 8
+
+// NewVarQueue creates a byte ring of at least capacity bytes (rounded
+// up to a power of two, minimum 64). The largest storable message is
+// capacity/2 - 8 bytes.
+func NewVarQueue(capacity int) *VarQueue {
+	if capacity < 64 {
+		capacity = 64
+	}
+	size := uint64(1) << uint(bits.Len(uint(capacity-1)))
+	return &VarQueue{
+		size: size,
+		mask: size - 1,
+		buf:  make([]byte, size),
+		hdr:  make([]atomic.Uint64, size/varAlign),
+	}
+}
+
+// Cap returns the ring capacity in bytes.
+func (q *VarQueue) Cap() int { return int(q.size) }
+
+// MaxMsg returns the largest message the queue accepts.
+func (q *VarQueue) MaxMsg() int { return int(q.size/2) - varAlign }
+
+// lap returns the lap number for byte position pos. The fixed-size
+// Queue gets away with the paper's single sense bit because entry
+// boundaries repeat every lap; variable records move their boundaries
+// between laps, so a one-bit sense could alias a header written two
+// laps ago (an ABA hazard). Encoding the full lap count (+1 so that
+// the zero-initialised header array is invalid for lap 0) removes it.
+func (q *VarQueue) lap(pos uint64) uint64 {
+	return pos/q.size + 1
+}
+
+// hdrAt returns the header slot for byte position pos (8-aligned).
+func (q *VarQueue) hdrAt(pos uint64) *atomic.Uint64 {
+	return &q.hdr[(pos&q.mask)/varAlign]
+}
+
+// pack encodes a record header: lap in the upper 32 bits, length in
+// the lower 32.
+func pack(lap, length uint64) uint64 { return lap<<32 | length }
+
+// recLen returns the ring bytes a payload of n consumes.
+func recLen(n int) uint64 {
+	return varAlign + (uint64(n)+varAlign-1)/varAlign*varAlign
+}
+
+// TryEnqueue appends p's bytes; false when the queue lacks space.
+func (q *VarQueue) TryEnqueue(p []byte) bool {
+	if len(p) > q.MaxMsg() {
+		return false
+	}
+	need := recLen(len(p))
+	// A record must not wrap: account for a possible skip region.
+	tail := q.tail
+	skip := uint64(0)
+	if end := tail & q.mask; end+need > q.size {
+		skip = q.size - end
+	}
+	if !q.reserve(tail + skip + need) {
+		return false
+	}
+	if skip > 0 {
+		// Publish a skip marker, then restart at the ring head.
+		q.hdrAt(tail).Store(pack(q.lap(tail), 0))
+		tail += skip
+	}
+	copy(q.buf[(tail&q.mask)+varAlign:], p)
+	q.hdrAt(tail).Store(pack(q.lap(tail), uint64(len(p)))) // release
+	q.tail = tail + need
+	return true
+}
+
+// reserve checks (lazily) that the producer may advance to newTail.
+func (q *VarQueue) reserve(newTail uint64) bool {
+	if newTail-q.shadowHead > q.size {
+		q.shadowHead = q.publishedHead.Load()
+		q.fullMisses++
+		if newTail-q.shadowHead > q.size {
+			return false
+		}
+	}
+	return true
+}
+
+// TryDequeue removes the oldest message, appending it to dst and
+// returning the extended slice; ok is false when the queue is empty.
+func (q *VarQueue) TryDequeue(dst []byte) (out []byte, ok bool) {
+	head := q.head
+	for {
+		h := q.hdrAt(head).Load()
+		if h>>32 != q.lap(head) {
+			return dst, false // empty
+		}
+		length := h & 0xFFFFFFFF
+		if length == 0 {
+			// Skip marker: the next record starts at the ring head.
+			head += q.size - (head & q.mask)
+			continue
+		}
+		dst = append(dst, q.buf[(head&q.mask)+varAlign:(head&q.mask)+varAlign+length]...)
+		q.head = head + recLen(int(length))
+		q.publishedHead.Store(q.head)
+		return dst, true
+	}
+}
+
+// Enqueue appends p, spinning while the queue is full.
+func (q *VarQueue) Enqueue(p []byte) {
+	for !q.TryEnqueue(p) {
+		runtime.Gosched()
+	}
+}
+
+// Dequeue removes the oldest message, spinning while empty.
+func (q *VarQueue) Dequeue(dst []byte) []byte {
+	for {
+		if out, ok := q.TryDequeue(dst); ok {
+			return out
+		}
+		runtime.Gosched()
+	}
+}
+
+// FullMisses reports producer refreshes of the shared head pointer.
+func (q *VarQueue) FullMisses() uint64 { return q.fullMisses }

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestVarQueueBasic(t *testing.T) {
+	q := NewVarQueue(256)
+	msgs := [][]byte{
+		[]byte("a"),
+		[]byte("hello world"),
+		bytes.Repeat([]byte{7}, 50),
+	}
+	for _, m := range msgs {
+		if !q.TryEnqueue(m) {
+			t.Fatalf("enqueue %d bytes failed", len(m))
+		}
+	}
+	for _, want := range msgs {
+		got, ok := q.TryDequeue(nil)
+		if !ok || !bytes.Equal(got, want) {
+			t.Fatalf("dequeue = %q,%v want %q", got, ok, want)
+		}
+	}
+	if _, ok := q.TryDequeue(nil); ok {
+		t.Fatal("dequeue on empty queue succeeded")
+	}
+}
+
+func TestVarQueueRejectsOversize(t *testing.T) {
+	q := NewVarQueue(128)
+	if q.TryEnqueue(make([]byte, q.MaxMsg()+1)) {
+		t.Fatal("oversized message accepted")
+	}
+	if !q.TryEnqueue(make([]byte, q.MaxMsg())) {
+		t.Fatal("max-size message refused on an empty queue")
+	}
+}
+
+func TestVarQueueFillsAndDrains(t *testing.T) {
+	q := NewVarQueue(256)
+	n := 0
+	for q.TryEnqueue([]byte("0123456789")) {
+		n++
+	}
+	if n == 0 {
+		t.Fatal("nothing fit")
+	}
+	for i := 0; i < n; i++ {
+		if _, ok := q.TryDequeue(nil); !ok {
+			t.Fatalf("drained only %d of %d", i, n)
+		}
+	}
+	if _, ok := q.TryDequeue(nil); ok {
+		t.Fatal("extra message appeared")
+	}
+}
+
+func TestVarQueueWrapWithSkipMarkers(t *testing.T) {
+	q := NewVarQueue(128)
+	// Sizes chosen to leave awkward space at the ring end repeatedly.
+	payload := func(i, n int) []byte {
+		b := make([]byte, n)
+		for j := range b {
+			b[j] = byte(i + j)
+		}
+		return b
+	}
+	sizes := []int{24, 17, 40, 9, 33, 48, 1, 25}
+	k := 0
+	for round := 0; round < 50; round++ {
+		n := sizes[round%len(sizes)]
+		q.Enqueue(payload(k, n))
+		got := q.Dequeue(nil)
+		if !bytes.Equal(got, payload(k, n)) {
+			t.Fatalf("round %d: corrupted message (%d bytes)", round, n)
+		}
+		k++
+	}
+}
+
+// TestVarQueuePropertyFIFO: any mix of enqueues/dequeues preserves
+// byte-exact FIFO order with no loss or duplication.
+func TestVarQueuePropertyFIFO(t *testing.T) {
+	f := func(ops []uint16, capSeed uint8) bool {
+		q := NewVarQueue(int(capSeed)*8 + 64)
+		var sent, got [][]byte
+		next := byte(0)
+		for _, op := range ops {
+			if op%3 != 0 {
+				n := int(op%uint16(q.MaxMsg())) + 1
+				m := bytes.Repeat([]byte{next}, n)
+				if q.TryEnqueue(m) {
+					sent = append(sent, m)
+					next++
+				}
+			} else if v, ok := q.TryDequeue(nil); ok {
+				got = append(got, v)
+			}
+		}
+		for {
+			v, ok := q.TryDequeue(nil)
+			if !ok {
+				break
+			}
+			got = append(got, v)
+		}
+		if len(sent) != len(got) {
+			return false
+		}
+		for i := range sent {
+			if !bytes.Equal(sent[i], got[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVarQueueConcurrent(t *testing.T) {
+	q := NewVarQueue(1024)
+	const n = 20000
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			m := []byte{byte(i), byte(i >> 8), byte(1 + i%37)}
+			q.Enqueue(m)
+		}
+	}()
+	for i := 0; i < n; i++ {
+		got := q.Dequeue(nil)
+		if got[0] != byte(i) || got[1] != byte(i>>8) {
+			t.Fatalf("message %d corrupted: %v", i, got)
+		}
+	}
+	wg.Wait()
+}
+
+func TestVarQueueLazyPointers(t *testing.T) {
+	q := NewVarQueue(1024)
+	// Half-full usage: few shared-head refreshes, like the fixed queue.
+	for round := 0; round < 100; round++ {
+		q.TryEnqueue(make([]byte, 100))
+		q.TryDequeue(nil)
+	}
+	if q.FullMisses() > 25 {
+		t.Fatalf("FullMisses = %d, lazy pointer not lazy", q.FullMisses())
+	}
+}

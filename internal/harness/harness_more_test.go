@@ -1,0 +1,92 @@
+package harness
+
+import (
+	"testing"
+)
+
+func TestSweepQueueSizeMonotone(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep in -short mode")
+	}
+	tb := SweepQueueSize()
+	t.Log("\n" + tb.String())
+	// Bandwidth must not degrade as the queue grows, and must improve
+	// substantially from the smallest to the largest size.
+	prev := 0.0
+	for r := range tb.Rows {
+		bw := cell(t, tb, r, 2)
+		if bw < prev*0.97 {
+			t.Errorf("bandwidth regressed at %s blocks: %.0f after %.0f", tb.Cell(r, 0), bw, prev)
+		}
+		prev = bw
+	}
+	first, last := cell(t, tb, 0, 2), cell(t, tb, len(tb.Rows)-1, 2)
+	if last < first*1.05 {
+		t.Errorf("queue capacity should buy bandwidth: %.0f -> %.0f", first, last)
+	}
+}
+
+func TestDMAComparisonShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("dma sweep in -short mode")
+	}
+	tb := DMAComparison()
+	t.Log("\n" + tb.String())
+	// Columns: bytes, NI2w RTT, CNI RTT, DMA RTT, NI2w BW, CNI BW, DMA BW.
+	// Fine grain: DMA latency is the worst of the three.
+	if cell(t, tb, 0, 3) <= cell(t, tb, 0, 1) || cell(t, tb, 0, 3) <= cell(t, tb, 0, 2) {
+		t.Error("16B: DMA should have the worst round trip (interrupt cost)")
+	}
+	// Bulk: DMA beats NI2w on both metrics and closes on the CNI.
+	last := len(tb.Rows) - 1
+	if cell(t, tb, last, 3) >= cell(t, tb, last, 1) {
+		t.Error("4KB: DMA round trip should beat NI2w")
+	}
+	if cell(t, tb, last, 6) <= cell(t, tb, last, 4) {
+		t.Error("4KB: DMA bandwidth should beat NI2w")
+	}
+	if cell(t, tb, last, 6) < cell(t, tb, last, 5)*0.7 {
+		t.Error("4KB: DMA bandwidth should be within 30% of the CNI")
+	}
+	// The DMA/CNI latency ratio shrinks monotonically with size (the
+	// breakeven narrative).
+	prev := 1e9
+	for r := range tb.Rows {
+		ratio := cell(t, tb, r, 3) / cell(t, tb, r, 2)
+		if ratio > prev*1.05 {
+			t.Errorf("row %s: DMA/CNI ratio %.2f did not shrink", tb.Cell(r, 0), ratio)
+		}
+		prev = ratio
+	}
+}
+
+func TestFig7AltShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alt sweep in -short mode")
+	}
+	tb := Fig7Alt()
+	t.Log("\n" + tb.String())
+	// The cache-bus NI2w bypasses the memory bus entirely, so it can
+	// exceed the coherent local-queue bound; the coherent designs
+	// cannot by much. Ordering cache > memory > io holds at all sizes.
+	for r := range tb.Rows {
+		cache := cell(t, tb, r, 1)
+		mem := cell(t, tb, r, 2)
+		io := cell(t, tb, r, 3)
+		if !(cache > mem && mem > io) {
+			t.Errorf("row %s: want cache > memory > io, got %.2f %.2f %.2f",
+				tb.Cell(r, 0), cache, mem, io)
+		}
+	}
+}
+
+func TestTableCellAndString(t *testing.T) {
+	tb := Table1()
+	if tb.Cell(0, 0) != "NI2w" {
+		t.Errorf("Cell(0,0) = %q", tb.Cell(0, 0))
+	}
+	s := tb.String()
+	if len(s) == 0 || s[len(s)-1] != '\n' {
+		t.Error("String should end with a newline")
+	}
+}

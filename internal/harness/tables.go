@@ -1,0 +1,91 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/apps"
+	"repro/internal/params"
+)
+
+// Table1 reproduces the paper's Table 1: the NI taxonomy summary.
+func Table1() *Table {
+	t := &Table{
+		Title:  "Table 1: Summary of Network Interface Devices",
+		Header: []string{"NI/CNI", "Exposed Queue Size", "Queue Pointers", "Home"},
+	}
+	rows := []struct {
+		ni       params.NIKind
+		exposed  string
+		pointers string
+		home     string
+	}{
+		{params.NI2w, "2 words", "", ""},
+		{params.CNI4, "4 cache blocks", "", "device"},
+		{params.CNI16Q, "16 cache blocks", "explicit", "device"},
+		{params.CNI512Q, "512 cache blocks", "explicit", "device"},
+		{params.CNI16Qm, "16 cache blocks", "explicit", "main memory"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{r.ni.String(), r.exposed, r.pointers, r.home})
+	}
+	return t
+}
+
+// Table2 echoes the timing model (the paper's Table 2), which the
+// simulator consumes as input; printing it verifies the model in use.
+func Table2() *Table {
+	t := &Table{
+		Title:  "Table 2: Bus Occupancy for NI and Memory Access (processor cycles)",
+		Header: []string{"Operation", "Cache Bus", "Memory Bus", "I/O Bus"},
+	}
+	t.Rows = [][]string{
+		{"Uncached 8-byte load from NI",
+			fmt.Sprint(params.UncLoadCacheBus), fmt.Sprint(params.UncLoadMemBus), fmt.Sprint(params.UncLoadIOBus)},
+		{"Uncached 8-byte store to NI",
+			fmt.Sprint(params.UncStoreCacheBus), fmt.Sprint(params.UncStoreMemBus), fmt.Sprint(params.UncStoreIOBus)},
+		{"Cache-to-cache transfer CNI->proc (64B)",
+			"", fmt.Sprint(params.BlockMemBus), fmt.Sprint(params.BlockIODevToProc)},
+		{"Cache-to-cache transfer proc->CNI (64B)",
+			"", fmt.Sprint(params.BlockMemBus), fmt.Sprint(params.BlockIOProcToDev)},
+		{"Memory-to-cache transfer (64B)",
+			"", fmt.Sprint(params.BlockMemBus), ""},
+	}
+	return t
+}
+
+// Table3 reproduces the paper's Table 3: macrobenchmark summary, with
+// this reproduction's scaled inputs.
+func Table3() *Table {
+	t := &Table{
+		Title:  "Table 3: Summary of macrobenchmarks",
+		Header: []string{"Benchmark", "Key Communication", "Input Data Set (scaled)"},
+	}
+	for _, a := range apps.All() {
+		t.Rows = append(t.Rows, []string{a.Name(), a.KeyComm(), a.Input()})
+	}
+	return t
+}
+
+// Table4 reproduces the paper's Table 4: the qualitative comparison of
+// CNI with other machines' network interfaces.
+func Table4() *Table {
+	t := &Table{
+		Title:  "Table 4: Comparison of CNI with other network interfaces",
+		Header: []string{"Network Interface", "Coherence", "Caching", "Uniform Interface"},
+	}
+	t.Rows = [][]string{
+		{"CNI", "Yes", "Yes", "Memory Interface"},
+		{"TMC CM-5", "No", "No", "No"},
+		{"Typhoon", "Possible", "Possible", "Possible"},
+		{"FLASH", "Possible", "Possible", "Possible"},
+		{"Meiko CS2", "Possible", "No", "Possible"},
+		{"Alewife", "No", "No", "No"},
+		{"FUGU", "No", "No", "No"},
+		{"StarT-NG", "No", "Maybe", "No"},
+		{"AP1000", "No", "Sender", "No"},
+		{"T-Zero", "Partial", "Partial", "No"},
+		{"SHRIMP", "Yes", "Write Through", "No"},
+		{"DI Multicomputer", "No", "No", "Network Interface"},
+	}
+	return t
+}

@@ -1,0 +1,45 @@
+package machine
+
+import (
+	"testing"
+
+	"repro/internal/msg"
+	"repro/internal/params"
+	"repro/internal/sim"
+)
+
+// TestDebugTrafficBreakdown prints transaction counters for a short
+// ping-pong, used to validate the per-message traffic budget against
+// the paper's §2.2 accounting (one invalidation + one read miss per
+// block, two head-pointer pairs per queue pass).
+func TestDebugTrafficBreakdown(t *testing.T) {
+	for _, kind := range []params.NIKind{params.NI2w, params.CNI16Q} {
+		cfg := params.Config{Nodes: 2, NI: kind, Bus: params.MemoryBus}
+		m := New(cfg)
+		const (
+			hPing = 1
+			hPong = 2
+		)
+		gotPong := 0
+		m.Nodes[1].Msgr.Register(hPing, func(ctx *msg.Context) {
+			ctx.M.Send(ctx.P, ctx.Src, hPong, ctx.Size, nil)
+		})
+		m.Nodes[0].Msgr.Register(hPong, func(ctx *msg.Context) { gotPong++ })
+		m.Spawn(0, func(p *sim.Process, n *Node) {
+			for r := 0; r < 4; r++ {
+				n.Msgr.Send(p, 1, hPing, 64, nil)
+				want := r + 1
+				n.Msgr.PollUntil(p, func() bool { return gotPong == want })
+			}
+		})
+		m.Spawn(1, func(p *sim.Process, n *Node) {
+			n.Msgr.PollUntil(p, func() bool { return gotPong == 4 })
+		})
+		end := m.Run(sim.Time(1) << 40)
+		m.Stop()
+		t.Logf("=== %s: 4 round trips in %d cycles ===", kind, end)
+		for _, name := range m.Stats.Counters() {
+			t.Logf("  %-40s %d", name, m.Stats.Get(name))
+		}
+	}
+}

@@ -1,0 +1,154 @@
+// Package machine assembles the paper's simulated parallel machine
+// (§4.1): N nodes, each with a 200 MHz dual-issue processor, a 256 KB
+// direct-mapped cache on a 100 MHz coherent memory bus, optionally a
+// 50 MHz coherent I/O bus behind a bridge, and one of the five network
+// interfaces; nodes are connected by the fixed-latency sliding-window
+// network.
+package machine
+
+import (
+	"fmt"
+
+	"repro/internal/bus"
+	"repro/internal/cache"
+	"repro/internal/msg"
+	"repro/internal/network"
+	"repro/internal/nic"
+	"repro/internal/params"
+	"repro/internal/proc"
+	"repro/internal/sim"
+)
+
+// Node-local address map. Every node has an identical private
+// layout; queue regions for device-homed NIs sit outside DRAM, the
+// memory-homed CNI16Qm queue lives in pinned DRAM.
+// The processor cache is 256 KB direct-mapped, so addresses collide
+// when they share (addr/64) mod 4096. The bases below stagger every
+// region into a distinct index range: user data gets indexes
+// 0..1023, the messaging buffer 1024.., software shadows 2048..,
+// the send queue 2112.., and the receive queue 2688.. — mirroring an
+// operating system laying out pinned NI pages to avoid conflicting
+// with itself. (Device-homed and memory-homed queues reuse the same
+// index ranges; a configuration only ever has one of them.)
+const (
+	DRAMBase   = 0x0000_0000
+	DRAMSize   = 0x1000_0000 // 256 MB
+	UserBase   = 0x0100_0000 // application working set (cache indexes 0..1023)
+	MsgBufBase = 0x0601_0000 // messaging-layer staging buffers (1024..)
+	ShadowBase = 0x0702_0000 // CQ software shadow pointers (2048..)
+	QmSendBase = 0x0802_1000 // CNI16Qm send queue, memory-homed (2112..)
+	QmRecvBase = 0x0902_a000 // CNI16Qm receive queue, memory-homed (2688..)
+
+	DevSendBase = 0x4002_1000 // device-homed send region (2112..)
+	DevRecvBase = 0x4102_a000 // device-homed receive region (2688..)
+	DevRegionSz = 0x0000_9000 // 36 KB window: pointers + up to 512 blocks
+)
+
+// Node is one processor + NI endpoint.
+type Node struct {
+	ID     int
+	Fabric *bus.Fabric
+	Mem    *cache.Memory
+	Cache  *cache.Cache
+	CPU    *proc.CPU
+	NI     nic.NI
+	Msgr   *msg.Messenger
+}
+
+// Machine is the whole simulated system.
+type Machine struct {
+	Cfg   params.Config
+	Eng   *sim.Engine
+	Stats *sim.Stats
+	Net   *network.Network
+	Nodes []*Node
+}
+
+// New builds a machine for cfg. It panics on invalid configurations
+// (use cfg.Validate first for a friendly error).
+func New(cfg params.Config) *Machine {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	eng := sim.NewEngine()
+	st := sim.NewStats(eng)
+	m := &Machine{
+		Cfg:   cfg,
+		Eng:   eng,
+		Stats: st,
+		Net:   network.New(eng, st, cfg.Nodes),
+	}
+	for id := 0; id < cfg.Nodes; id++ {
+		m.Nodes = append(m.Nodes, m.buildNode(id))
+	}
+	return m
+}
+
+func (m *Machine) buildNode(id int) *Node {
+	cfg := m.Cfg
+	name := fmt.Sprintf("node%d", id)
+	withIO := cfg.Bus == params.IOBus
+	fab := bus.NewFabric(m.Eng, m.Stats, name, withIO)
+	mem := cache.NewMemory(fab, name+".mem")
+	fab.AddRegion(bus.Region{
+		Name: name + ".dram", Base: DRAMBase, Size: DRAMSize,
+		Home: mem, Loc: params.MemoryBus, Cachable: true,
+	})
+	pc := cache.New(m.Eng, m.Stats, fab, name+".cache", params.ProcCacheBytes)
+	pc.Snarf = cfg.Snarfing
+	cpu := proc.New(m.Eng, m.Stats, fab, pc, id, name+".cpu")
+
+	sendBase, recvBase := uint64(DevSendBase), uint64(DevRecvBase)
+	if cfg.NI.MemoryHomed() {
+		sendBase, recvBase = QmSendBase, QmRecvBase
+	}
+	ni := nic.New(nic.Deps{
+		Eng: m.Eng, Stats: m.Stats, Fabric: fab, CPU: cpu, Net: m.Net,
+		NodeID: id, Loc: cfg.Bus, Cfg: cfg,
+		SendQBase: sendBase, RecvQBase: recvBase, ShadowBase: ShadowBase,
+	})
+	if cfg.NI == params.CNI4 || (cfg.NI.IsCQ() && !cfg.NI.MemoryHomed()) {
+		// Device-homed cachable regions (CDRs or CQs).
+		fab.AddRegion(bus.Region{
+			Name: name + ".ni.send", Base: DevSendBase, Size: DevRegionSz,
+			Home: ni, Loc: cfg.Bus, Cachable: true,
+		})
+		fab.AddRegion(bus.Region{
+			Name: name + ".ni.recv", Base: DevRecvBase, Size: DevRegionSz,
+			Home: ni, Loc: cfg.Bus, Cachable: true,
+		})
+	}
+	m.Net.Register(id, ni)
+	msgr := msg.New(id, cpu, ni, m.Stats, MsgBufBase)
+	return &Node{ID: id, Fabric: fab, Mem: mem, Cache: pc, CPU: cpu, NI: ni, Msgr: msgr}
+}
+
+// Spawn starts body as node id's application process.
+func (m *Machine) Spawn(id int, body func(p *sim.Process, n *Node)) {
+	n := m.Nodes[id]
+	m.Eng.Spawn(fmt.Sprintf("node%d.app", id), func(p *sim.Process) {
+		body(p, n)
+	})
+}
+
+// Run drains the event queue (or stops at horizon) and returns the
+// final simulated time in cycles.
+func (m *Machine) Run(horizon sim.Time) sim.Time { return m.Eng.Run(horizon) }
+
+// Stop unwinds device processes; call once after Run.
+func (m *Machine) Stop() { m.Eng.Stop() }
+
+// MemBusOccupancy returns total busy cycles summed over all nodes'
+// memory buses (§5.2's occupancy metric).
+func (m *Machine) MemBusOccupancy() sim.Time {
+	var total sim.Time
+	for id := range m.Nodes {
+		total += m.Stats.Busy(fmt.Sprintf("node%d.membus", id)).Total()
+	}
+	return total
+}
+
+// Microseconds converts cycles to microseconds at 200 MHz.
+func Microseconds(cycles sim.Time) float64 {
+	return float64(cycles) / params.CPUMHz
+}

@@ -1,0 +1,228 @@
+// Package msg is the Tempest-like user-level messaging layer
+// (paper §4.1): active messages sent and received by user code with
+// no interrupts, fragmented into fixed 256-byte network messages with
+// a 12-byte header, plus the software flow control the paper
+// describes — when a send blocks, the processor extracts incoming
+// messages from the NI and buffers them in user space to avoid
+// deadlock (except CNI16Qm, whose receive queue overflows to memory
+// in hardware, but the drain path is identical and simply never finds
+// the NI refusing).
+package msg
+
+import (
+	"fmt"
+
+	"repro/internal/network"
+	"repro/internal/nic"
+	"repro/internal/params"
+	"repro/internal/proc"
+	"repro/internal/sim"
+)
+
+// Software-path costs in processor cycles. The messaging layer's
+// control code is a handful of instructions around each operation.
+const (
+	// PollLoopCycles is the loop overhead of one poll iteration.
+	PollLoopCycles = 4
+	// DispatchCycles is the active-message handler dispatch cost
+	// (header decode plus indirect call).
+	DispatchCycles = 10
+)
+
+// Context is what an active-message handler receives.
+type Context struct {
+	P   *sim.Process
+	CPU *proc.CPU
+	M   *Messenger
+	Src int // sending node
+	// Size is the full user-message payload size in bytes.
+	Size int
+	// Payload is the logical content the sender attached.
+	Payload any
+}
+
+// Handler is an active-message handler, run on the receiving node's
+// process during a Poll.
+type Handler func(ctx *Context)
+
+// partialKey identifies an in-reassembly user message.
+type partialKey struct {
+	src int
+	id  uint64
+}
+
+type partial struct {
+	got     int
+	total   int
+	size    int
+	handler int
+	payload any
+}
+
+// Messenger is one node's messaging endpoint.
+type Messenger struct {
+	node  int
+	cpu   *proc.CPU
+	ni    nic.NI
+	stats *sim.Stats
+
+	handlers map[int]Handler
+	// swBuf holds messages drained from the NI by flow control,
+	// dispatched on later polls before new NI traffic.
+	swBuf   []*network.Msg
+	partial map[partialKey]*partial
+	nextID  uint64
+	bufAddr uint64 // user-space staging buffer for copies
+
+	// Sent/Received count dispatched user messages (diagnostics).
+	Sent     uint64
+	Received uint64
+}
+
+// New creates a messenger for a node. bufAddr is a node-private DRAM
+// address used as the user-level staging buffer.
+func New(node int, cpu *proc.CPU, ni nic.NI, st *sim.Stats, bufAddr uint64) *Messenger {
+	return &Messenger{
+		node:     node,
+		cpu:      cpu,
+		ni:       ni,
+		stats:    st,
+		handlers: make(map[int]Handler),
+		partial:  make(map[partialKey]*partial),
+		bufAddr:  bufAddr,
+	}
+}
+
+// Node returns the node id.
+func (ms *Messenger) Node() int { return ms.node }
+
+// NI exposes the underlying network interface (diagnostics).
+func (ms *Messenger) NI() nic.NI { return ms.ni }
+
+// Register installs the handler for id. Handlers must be registered
+// before traffic flows; re-registration replaces.
+func (ms *Messenger) Register(id int, h Handler) { ms.handlers[id] = h }
+
+// Send transmits a user message of size bytes to dst, invoking handler
+// there. It blocks (in simulated time) until every fragment is handed
+// to the NI, draining incoming messages to user space whenever the NI
+// cannot accept (software flow control, §4.1).
+func (ms *Messenger) Send(p *sim.Process, dst, handler, size int, payload any) {
+	if dst == ms.node {
+		panic("msg: self-send not supported; use local queues")
+	}
+	id := ms.nextID
+	ms.nextID++
+	frags := (size + params.MaxPayloadBytes - 1) / params.MaxPayloadBytes
+	if frags < 1 {
+		frags = 1
+	}
+	for f := 0; f < frags; f++ {
+		fsize := params.MaxPayloadBytes
+		if f == frags-1 {
+			fsize = size - f*params.MaxPayloadBytes
+		}
+		m := &network.Msg{
+			Src:        ms.node,
+			Dst:        dst,
+			Handler:    handler,
+			Size:       fsize,
+			Blocks:     network.MsgBlocks(fsize),
+			Payload:    payload,
+			Frag:       f,
+			FragTotal:  frags,
+			ID:         id,
+			TotalBytes: size,
+		}
+		// Read the fragment out of the user buffer (cached, mostly hits).
+		ms.cpu.LoadRange(p, ms.bufAddr+uint64(f*params.MaxPayloadBytes), fsize)
+		for tries := 0; !ms.ni.TrySend(p, m); tries++ {
+			ms.stats.Inc(fmt.Sprintf("node%d.msg.send.block", ms.node))
+			// §4.1 flow control: a blocked sender extracts incoming
+			// messages and buffers them in user space. "Blocked" means
+			// persistently refused, not one transient failure — so the
+			// first retry just spins, avoiding needless double
+			// handling of messages the NI could still hold.
+			if tries == 0 || !ms.drainOne(p) {
+				ms.cpu.Compute(p, PollLoopCycles)
+			}
+		}
+	}
+	ms.Sent++
+}
+
+// drainOne pulls one message out of the NI into the user-space buffer
+// (no dispatch — that happens on a later Poll). Returns false if the
+// NI had nothing.
+func (ms *Messenger) drainOne(p *sim.Process) bool {
+	m := ms.ni.TryRecv(p)
+	if m == nil {
+		return false
+	}
+	// Copy into the user-space buffer.
+	ms.cpu.StoreRange(p, ms.bufAddr+uint64(len(ms.swBuf)%64)*params.NetMsgBytes, m.Size+params.HeaderBytes)
+	ms.swBuf = append(ms.swBuf, m)
+	ms.stats.Inc(fmt.Sprintf("node%d.msg.swbuffered", ms.node))
+	return true
+}
+
+// Poll checks for one incoming network message — software buffer
+// first, then the NI — and dispatches its handler if it completes a
+// user message. It reports whether a network message was consumed.
+func (ms *Messenger) Poll(p *sim.Process) bool {
+	ms.cpu.Compute(p, PollLoopCycles)
+	var m *network.Msg
+	if len(ms.swBuf) > 0 {
+		m = ms.swBuf[0]
+		ms.swBuf = ms.swBuf[1:]
+		// Re-read from the user-space buffer (cached).
+		ms.cpu.LoadRange(p, ms.bufAddr, m.Size+params.HeaderBytes)
+	} else if m = ms.ni.TryRecv(p); m == nil {
+		return false
+	} else {
+		// Copy payload from the NI queue image to the user buffer.
+		ms.cpu.StoreRange(p, ms.bufAddr, m.Size)
+	}
+	ms.accept(p, m)
+	return true
+}
+
+// accept reassembles and dispatches.
+func (ms *Messenger) accept(p *sim.Process, m *network.Msg) {
+	k := partialKey{m.Src, m.ID}
+	pa, ok := ms.partial[k]
+	if !ok {
+		pa = &partial{total: m.FragTotal, handler: m.Handler, payload: m.Payload, size: m.TotalBytes}
+		ms.partial[k] = pa
+	}
+	pa.got++
+	if pa.got < pa.total {
+		return
+	}
+	delete(ms.partial, k)
+	ms.Received++
+	h, ok := ms.handlers[pa.handler]
+	if !ok {
+		panic(fmt.Sprintf("msg: node %d has no handler %d", ms.node, pa.handler))
+	}
+	ms.cpu.Compute(p, DispatchCycles)
+	h(&Context{P: p, CPU: ms.cpu, M: ms, Src: m.Src, Size: pa.size, Payload: pa.payload})
+}
+
+// PollUntil polls until pred is true, advancing simulated time each
+// iteration (handlers run inline and typically change pred's inputs).
+func (ms *Messenger) PollUntil(p *sim.Process, pred func() bool) {
+	for !pred() {
+		ms.Poll(p)
+	}
+}
+
+// DrainAvailable dispatches everything currently available without
+// blocking; returns the number of network messages consumed.
+func (ms *Messenger) DrainAvailable(p *sim.Process) int {
+	n := 0
+	for ms.Poll(p) {
+		n++
+	}
+	return n
+}

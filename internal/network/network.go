@@ -1,0 +1,171 @@
+// Package network models the machine's interconnect (paper §4.1):
+// topology is ignored, network messages are a fixed 256 bytes, every
+// message takes 100 processor cycles from injection of the last byte
+// at the source to arrival of the first byte at the destination, and
+// hardware flow control is a sliding window — a node may have up to
+// four messages in flight per destination before the sender blocks
+// waiting for acknowledgements.
+package network
+
+import (
+	"fmt"
+
+	"repro/internal/params"
+	"repro/internal/sim"
+)
+
+// Msg is one fixed-size network message. Payload semantics belong to
+// the messaging layer; the network only routes and times it.
+type Msg struct {
+	Src, Dst int
+	// Handler is the active-message handler index (carried in the
+	// 12-byte header along with Size and sequencing).
+	Handler int
+	// Size is the user-payload byte count in this network message
+	// (≤ params.MaxPayloadBytes).
+	Size int
+	// Blocks is how many 64-byte blocks of NI queue space the message
+	// occupies (header + payload, rounded up).
+	Blocks int
+	// Payload carries app-level data end to end.
+	Payload any
+	// Frag/FragTotal sequence multi-network-message user messages.
+	Frag, FragTotal int
+	// ID is the sender-local user-message id fragments share.
+	ID uint64
+	// TotalBytes is the full user-message payload size.
+	TotalBytes int
+}
+
+// MsgBlocks returns the queue blocks consumed by a network message
+// carrying size payload bytes.
+func MsgBlocks(size int) int {
+	b := (size + params.HeaderBytes + params.BlockBytes - 1) / params.BlockBytes
+	if b < 1 {
+		b = 1
+	}
+	if b > params.BlocksPerNetMsg {
+		panic(fmt.Sprintf("network: payload %d exceeds one network message", size))
+	}
+	return b
+}
+
+// MsgWords returns the number of 8-byte words (header + payload) the
+// message occupies, for uncached word-at-a-time NIs.
+func MsgWords(size int) int {
+	return (size + params.HeaderBytes + 7) / 8
+}
+
+// Port is a network endpoint — one node's NI. Delivery is push-based:
+// the network offers a message and the port either accepts it
+// (returning true, which triggers the ack that opens the sender's
+// window) or refuses it (buffer full), in which case the message
+// waits at the head of the port's arrival queue and is re-offered
+// when the port calls Unblock.
+type Port interface {
+	// NetDeliver offers an arrived message to the NI.
+	NetDeliver(m *Msg) bool
+}
+
+// Network connects the ports. Inject is called by NI devices.
+type Network struct {
+	eng     *sim.Engine
+	stats   *sim.Stats
+	latency sim.Time
+	window  int
+
+	ports []Port
+	// inFlight[src*n+dst] counts unacked messages.
+	inFlight []int
+	// windowFree signals senders blocked on a full window.
+	windowFree []*sim.Cond
+	// arrivals[dst] holds messages the port refused, FIFO.
+	arrivals [][]*Msg
+	n        int
+}
+
+// New creates a network for n nodes.
+func New(e *sim.Engine, st *sim.Stats, n int) *Network {
+	nw := &Network{
+		eng:      e,
+		stats:    st,
+		latency:  params.NetLatency,
+		window:   params.NetWindow,
+		ports:    make([]Port, n),
+		inFlight: make([]int, n*n),
+		arrivals: make([][]*Msg, n),
+		n:        n,
+	}
+	nw.windowFree = make([]*sim.Cond, n*n)
+	for i := range nw.windowFree {
+		nw.windowFree[i] = sim.NewCond(e)
+	}
+	return nw
+}
+
+// Register binds node id's port. Must be called before traffic flows.
+func (nw *Network) Register(id int, p Port) { nw.ports[id] = p }
+
+// Nodes returns the node count.
+func (nw *Network) Nodes() int { return nw.n }
+
+// CanInject reports whether src may inject to dst without blocking.
+func (nw *Network) CanInject(src, dst int) bool {
+	return nw.inFlight[src*nw.n+dst] < nw.window
+}
+
+// Inject sends m, blocking the calling (device) process while the
+// sliding window to m.Dst is full. Transit takes the network latency;
+// delivery is attempted on arrival and retried when the destination
+// port unblocks.
+func (nw *Network) Inject(p *sim.Process, m *Msg) {
+	slot := m.Src*nw.n + m.Dst
+	for nw.inFlight[slot] >= nw.window {
+		nw.stats.Inc("net.window.stall")
+		nw.windowFree[slot].Wait(p)
+	}
+	nw.inFlight[slot]++
+	nw.stats.Inc("net.msg")
+	nw.stats.Add("net.bytes", uint64(m.Size+params.HeaderBytes))
+	nw.eng.Schedule(nw.latency, func() { nw.arrive(m) })
+}
+
+// arrive queues m at the destination and attempts delivery.
+func (nw *Network) arrive(m *Msg) {
+	nw.arrivals[m.Dst] = append(nw.arrivals[m.Dst], m)
+	nw.drain(m.Dst)
+}
+
+// drain offers queued messages to the port in order until it refuses.
+func (nw *Network) drain(dst int) {
+	port := nw.ports[dst]
+	for len(nw.arrivals[dst]) > 0 {
+		m := nw.arrivals[dst][0]
+		if !port.NetDeliver(m) {
+			nw.stats.Inc("net.backpressure")
+			return
+		}
+		nw.arrivals[dst] = nw.arrivals[dst][1:]
+		nw.ack(m)
+	}
+}
+
+// Unblock tells the network that dst's NI freed buffer space; any
+// waiting arrivals are re-offered.
+func (nw *Network) Unblock(dst int) { nw.drain(dst) }
+
+// ack returns the window credit to the sender after the return
+// latency.
+func (nw *Network) ack(m *Msg) {
+	slot := m.Src*nw.n + m.Dst
+	nw.eng.Schedule(nw.latency, func() {
+		nw.inFlight[slot]--
+		nw.windowFree[slot].Signal()
+	})
+}
+
+// Pending reports undelivered arrivals at dst (diagnostics).
+func (nw *Network) Pending(dst int) int { return len(nw.arrivals[dst]) }
+
+// InFlight reports unacked messages from src to dst (diagnostics).
+func (nw *Network) InFlight(src, dst int) int { return nw.inFlight[src*nw.n+dst] }

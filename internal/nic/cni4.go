@@ -1,0 +1,258 @@
+package nic
+
+import (
+	"repro/internal/bus"
+	"repro/internal/network"
+	"repro/internal/params"
+	"repro/internal/sim"
+)
+
+// cni4 exposes exactly one 256-byte network message in each direction
+// through four cachable device registers (CDR blocks) homed on the
+// device (§2.1, §3). Status and control registers stay uncached.
+//
+// Send: the processor polls the uncached send status until the CDR is
+// free, writes the message into the CDR blocks with ordinary cached
+// stores (each block's first store is a coherent read-invalidate the
+// device observes), and posts an uncached "message ready" store. The
+// device then pulls the blocks out of the processor cache with
+// coherent reads and injects.
+//
+// Receive: the device loads the next message into the receive CDR and
+// raises the uncached receive status. The processor polls the status,
+// reads the message with cached loads (one miss per block, supplied
+// cache-to-cache by the device), then executes the explicit
+// three-cycle handshake: an uncached pop store, a MEMBAR to push it
+// out, and a status re-read; the device invalidates the CDR blocks
+// from the processor cache before showing the next message.
+type cni4 struct {
+	d    Deps
+	name string
+
+	// Send side.
+	sendBusy   bool // CDR occupied by a message being composed/pulled
+	sendStaged *network.Msg
+	sendFIFO   []*network.Msg // pulled, awaiting injection
+	sendCap    int
+	sendWork   *sim.Cond
+	injectWork *sim.Cond
+
+	// Receive side.
+	recvFIFO    []*network.Msg // arrived, behind the CDR
+	recvCap     int
+	recvCur     *network.Msg // message currently exposed in the CDR
+	recvReady   bool         // status register value
+	recvPopReq  bool         // processor posted the pop store
+	recvWork    *sim.Cond
+	procCDRCopy [params.BlocksPerNetMsg]bool // proc caches recv CDR block?
+}
+
+func newCNI4(d Deps) *cni4 {
+	n := &cni4{
+		d:          d,
+		name:       d.name(),
+		sendCap:    params.CNI4DeviceFIFOMsgs,
+		recvCap:    params.CNI4DeviceFIFOMsgs,
+		sendWork:   sim.NewCond(d.Eng),
+		injectWork: sim.NewCond(d.Eng),
+		recvWork:   sim.NewCond(d.Eng),
+	}
+	d.Fabric.Attach(n, d.Loc)
+	d.Eng.Spawn(n.name+".send", n.sendEngine)
+	d.Eng.Spawn(n.name+".recv", n.recvEngine)
+	d.Eng.Spawn(n.name+".inject", n.injector)
+	return n
+}
+
+func (n *cni4) Kind() params.NIKind { return params.CNI4 }
+
+// AgentName implements bus.Agent.
+func (n *cni4) AgentName() string { return n.name }
+
+// AgentClass implements bus.Agent.
+func (n *cni4) AgentClass() params.AgentClass { return params.ClassDevice }
+
+// sendBlock returns the address of send-CDR block b.
+func (n *cni4) sendBlock(b int) uint64 {
+	return n.d.SendQBase + uint64(b)*params.BlockBytes
+}
+
+// recvBlock returns the address of receive-CDR block b.
+func (n *cni4) recvBlock(b int) uint64 {
+	return n.d.RecvQBase + uint64(b)*params.BlockBytes
+}
+
+// SnoopTx implements bus.Agent. The device is the home for both CDR
+// regions: it tracks processor copies of the receive CDR (so the pop
+// handshake knows what to invalidate) and observes the processor
+// taking ownership of send CDR blocks.
+func (n *cni4) SnoopTx(tx *bus.Tx, isHome bool) bus.Snoop {
+	for b := 0; b < params.BlocksPerNetMsg; b++ {
+		if tx.Addr == n.recvBlock(b) {
+			switch tx.Kind {
+			case bus.CR:
+				n.procCDRCopy[b] = true
+			case bus.CRI, bus.CI:
+				n.procCDRCopy[b] = false
+			}
+			// The device is the home: report a copy so the processor
+			// installs Shared and its next write is bus-visible.
+			return bus.Snoop{HasCopy: true}
+		}
+		if tx.Addr == n.sendBlock(b) {
+			return bus.Snoop{HasCopy: true}
+		}
+	}
+	return bus.Snoop{}
+}
+
+// RegRead implements bus.Device.
+func (n *cni4) RegRead(reg uint64) uint64 {
+	switch reg {
+	case RegSendStatus:
+		if !n.sendBusy && len(n.sendFIFO) < n.sendCap {
+			return 1
+		}
+		return 0
+	case RegRecvStatus:
+		if n.recvReady {
+			return uint64(n.recvCur.Blocks)
+		}
+		return 0
+	}
+	return 0
+}
+
+// RegWrite implements bus.Device.
+func (n *cni4) RegWrite(reg, val uint64) {
+	switch reg {
+	case RegSendCommit:
+		if n.sendStaged == nil {
+			panic("cni4: commit without staged message")
+		}
+		n.sendWork.Signal()
+	case RegRecvPop:
+		if !n.recvReady {
+			panic("cni4: pop with no exposed message")
+		}
+		n.recvPopReq = true
+		n.recvReady = false
+		n.recvWork.Signal()
+	}
+}
+
+// TrySend implements NI: the CNI4 send protocol.
+func (n *cni4) TrySend(p *sim.Process, m *network.Msg) bool {
+	if n.d.CPU.UncachedLoad(p, n, RegSendStatus) == 0 {
+		n.d.Stats.Inc(n.name + ".send.full")
+		return false
+	}
+	n.sendBusy = true
+	// Write header + payload into the CDR blocks with cached stores.
+	for b := 0; b < m.Blocks; b++ {
+		base := n.sendBlock(b)
+		bytes := params.BlockBytes
+		if b == m.Blocks-1 {
+			bytes = m.Size + params.HeaderBytes - b*params.BlockBytes
+		}
+		n.d.CPU.StoreRange(p, base, bytes)
+	}
+	n.sendStaged = m
+	n.d.CPU.UncachedStore(p, n, RegSendCommit, uint64(m.Blocks))
+	n.d.Stats.Inc(n.name + ".send.msg")
+	return true
+}
+
+// sendEngine pulls committed messages out of the processor cache.
+func (n *cni4) sendEngine(p *sim.Process) {
+	for {
+		for n.sendStaged == nil {
+			n.sendWork.Wait(p)
+		}
+		m := n.sendStaged
+		for b := 0; b < m.Blocks; b++ {
+			n.d.Fabric.Do(p, bus.Tx{Kind: bus.CR, Addr: n.sendBlock(b), Initiator: n})
+		}
+		n.sendStaged = nil
+		n.sendFIFO = append(n.sendFIFO, m)
+		n.sendBusy = false
+		n.injectWork.Signal()
+	}
+}
+
+// injector drains pulled messages into the network.
+func (n *cni4) injector(p *sim.Process) {
+	for {
+		for len(n.sendFIFO) == 0 {
+			n.injectWork.Wait(p)
+		}
+		m := n.sendFIFO[0]
+		n.d.Net.Inject(p, m)
+		n.sendFIFO = n.sendFIFO[1:]
+	}
+}
+
+// TryRecv implements NI: poll the uncached status; on success read the
+// CDR blocks and run the explicit clear handshake.
+func (n *cni4) TryRecv(p *sim.Process) *network.Msg {
+	blocks := n.d.CPU.UncachedLoad(p, n, RegRecvStatus)
+	if blocks == 0 {
+		n.d.Stats.Inc(n.name + ".recv.poll.empty")
+		return nil
+	}
+	m := n.recvCur
+	for b := 0; b < m.Blocks; b++ {
+		base := n.recvBlock(b)
+		bytes := params.BlockBytes
+		if b == m.Blocks-1 {
+			bytes = m.Size + params.HeaderBytes - b*params.BlockBytes
+		}
+		n.d.CPU.LoadRange(p, base, bytes)
+	}
+	// Three-cycle handshake (§2.1): (1) explicit clear via uncached
+	// store; (2) MEMBAR so the device sees it; (3) the device
+	// invalidates the CDR and only then raises status for the next
+	// message, which the next poll observes.
+	n.d.CPU.UncachedStore(p, n, RegRecvPop, 1)
+	n.d.CPU.Membar(p)
+	n.d.Stats.Inc(n.name + ".recv.msg")
+	return m
+}
+
+// recvEngine loads arrived messages into the CDR and performs the
+// device half of the clear handshake.
+func (n *cni4) recvEngine(p *sim.Process) {
+	for {
+		for !(n.recvPopReq || (n.recvCur == nil && len(n.recvFIFO) > 0)) {
+			n.recvWork.Wait(p)
+		}
+		if n.recvPopReq {
+			n.recvPopReq = false
+			// Invalidate the processor's cached copies of the CDR.
+			for b := 0; b < params.BlocksPerNetMsg; b++ {
+				if n.procCDRCopy[b] {
+					n.d.Fabric.Do(p, bus.Tx{Kind: bus.CI, Addr: n.recvBlock(b), Initiator: n})
+					n.procCDRCopy[b] = false
+				}
+			}
+			n.recvCur = nil
+			n.d.Net.Unblock(n.d.NodeID)
+		}
+		if n.recvCur == nil && len(n.recvFIFO) > 0 {
+			n.recvCur = n.recvFIFO[0]
+			n.recvFIFO = n.recvFIFO[1:]
+			// Loading the CDR is device-internal (the device is home).
+			n.recvReady = true
+		}
+	}
+}
+
+// NetDeliver implements network.Port.
+func (n *cni4) NetDeliver(m *network.Msg) bool {
+	if len(n.recvFIFO) >= n.recvCap {
+		return false
+	}
+	n.recvFIFO = append(n.recvFIFO, m)
+	n.recvWork.Signal()
+	return true
+}

@@ -1,0 +1,491 @@
+package nic
+
+import (
+	"repro/internal/bus"
+	"repro/internal/cache"
+	"repro/internal/network"
+	"repro/internal/params"
+	"repro/internal/sim"
+)
+
+// cniq implements the cachable-queue network interfaces: CNI16Q and
+// CNI512Q (queues homed on the device) and CNI16Qm (queue homed in
+// main memory with a 16-block device cache; receive-side overflow
+// writes back to memory, §3).
+//
+// Queue layout per direction (see nic.go): one head-pointer block, one
+// tail-pointer block, then fixed 4-block entries, one network message
+// each. The timing-relevant state is which agent caches which block;
+// the functional queue content is tracked directly.
+//
+// The three CQ optimisations (§2.2) appear as concrete traffic:
+//
+//   - valid bits: the processor polls the head entry's first block —
+//     a cache hit while the queue is quiet — never the tail pointer;
+//   - sense reverse: the receiver never writes the entry to clear it,
+//     so consuming a message generates no ownership transfer;
+//   - lazy pointers: the producer side (processor for the send queue,
+//     device for the receive queue) re-reads the consumer's head
+//     pointer only when its shadow copy says the queue is full.
+//
+// All three can be disabled through params.Config for ablations.
+type cniq struct {
+	d        Deps
+	kind     params.NIKind
+	name     string
+	memHomed bool
+	entries  int // entries per direction
+
+	// ---- send queue: processor produces, device consumes ----
+	sendTailPos   uint64          // software tail (monotonic)
+	sendShadow    uint64          // software shadow of the device head
+	sendHeadPos   uint64          // device head (monotonic)
+	sendStageQ    []*network.Msg  // committed by software, awaiting RegWrite
+	sendCommitted []*network.Msg  // message-ready received, awaiting pull
+	sendPulled    map[uint64]bool // block already at the device (hint pull / WB)
+	sendHints     []uint64        // virtual-polling pull hints (block addrs)
+	injectFIFO    []*network.Msg
+	sendWork      *sim.Cond
+	injectWork    *sim.Cond
+	injectSpace   *sim.Cond
+
+	// ---- receive queue: device produces, processor consumes ----
+	recvTailPos  uint64         // device tail (monotonic)
+	recvShadow   uint64         // device shadow of the processor head
+	recvProcHead uint64         // processor head (monotonic)
+	recvStage    []*network.Msg // accepted from the wire, awaiting entry write
+	recvEntries  []*network.Msg // visible to the processor
+	recvWork     *sim.Cond
+	recvHeadMove *sim.Cond // snooped CRI on the head-pointer block
+
+	// procCopies tracks which of this NI's blocks the processor cache
+	// holds, so the device knows when publishing requires invalidation.
+	procCopies map[uint64]bool
+
+	// dc is CNI16Qm's receive-side device cache (nil otherwise).
+	dc *devCache
+	// live marks receive-queue blocks holding a message the processor
+	// has not yet read. The device observes consumption for free by
+	// snooping the processor's coherent reads of its queue blocks, so
+	// evicting a dead (already-consumed) block needs no writeback —
+	// only live blocks "overflow to main memory" (§3, §5.1.2).
+	live map[uint64]bool
+}
+
+const (
+	injectFIFOCap = 2 // pulled messages awaiting injection
+	recvStageCap  = 2 // hardware landing buffers before queue entries
+)
+
+func newCNIQ(d Deps, memHomed bool) *cniq {
+	qblocks := d.Cfg.QueueBlocks()
+	total := d.Cfg.TotalQueueBlocks()
+	n := &cniq{
+		d:            d,
+		kind:         d.Cfg.NI,
+		name:         d.name(),
+		memHomed:     memHomed,
+		entries:      total / params.BlocksPerNetMsg,
+		sendPulled:   make(map[uint64]bool),
+		procCopies:   make(map[uint64]bool),
+		live:         make(map[uint64]bool),
+		sendWork:     sim.NewCond(d.Eng),
+		injectWork:   sim.NewCond(d.Eng),
+		injectSpace:  sim.NewCond(d.Eng),
+		recvWork:     sim.NewCond(d.Eng),
+		recvHeadMove: sim.NewCond(d.Eng),
+	}
+	if memHomed {
+		n.dc = newDevCache(qblocks) // 16-block receive cache
+		n.dc.pin(n.sendHeadAddr())  // device-owned pointer blocks
+		n.dc.pin(n.recvTailAddr())
+	}
+	d.Fabric.Attach(n, d.Loc)
+	d.Eng.Spawn(n.name+".send", n.sendEngine)
+	d.Eng.Spawn(n.name+".inject", n.injector)
+	d.Eng.Spawn(n.name+".recv", n.recvEngine)
+	return n
+}
+
+func (n *cniq) Kind() params.NIKind { return n.kind }
+
+// AgentName implements bus.Agent.
+func (n *cniq) AgentName() string { return n.name }
+
+// AgentClass implements bus.Agent.
+func (n *cniq) AgentClass() params.AgentClass { return params.ClassDevice }
+
+// Address helpers.
+func (n *cniq) sendEntryAddr(pos uint64, b int) uint64 {
+	return entryAddr(n.d.SendQBase, int(pos%uint64(n.entries)), b)
+}
+func (n *cniq) recvEntryAddr(pos uint64, b int) uint64 {
+	return entryAddr(n.d.RecvQBase, int(pos%uint64(n.entries)), b)
+}
+func (n *cniq) sendHeadAddr() uint64 { return headAddr(n.d.SendQBase) }
+func (n *cniq) recvHeadAddr() uint64 { return headAddr(n.d.RecvQBase) }
+func (n *cniq) recvTailAddr() uint64 {
+	return n.d.RecvQBase + tailPtrBlock*params.BlockBytes
+}
+
+func (n *cniq) inSendEntries(addr uint64) bool {
+	lo := entryAddr(n.d.SendQBase, 0, 0)
+	hi := entryAddr(n.d.SendQBase, n.entries, 0)
+	return addr >= lo && addr < hi
+}
+
+func (n *cniq) inRegion(addr uint64) bool {
+	size := QueueRegionBytes(n.entries * params.BlocksPerNetMsg)
+	return (addr >= n.d.SendQBase && addr < n.d.SendQBase+size) ||
+		(addr >= n.d.RecvQBase && addr < n.d.RecvQBase+size)
+}
+
+// SnoopTx implements bus.Agent: coherence is how the device watches
+// the processor (virtual polling) and vice versa.
+func (n *cniq) SnoopTx(tx *bus.Tx, isHome bool) bus.Snoop {
+	if !n.inRegion(tx.Addr) {
+		return bus.Snoop{}
+	}
+	var sn bus.Snoop
+	if n.memHomed {
+		sn = n.snoopDevCache(tx)
+	} else {
+		// Device-homed: the home always "has" the block, which forces
+		// the processor to install Shared so its writes stay visible.
+		sn = bus.Snoop{HasCopy: true}
+	}
+	switch tx.Kind {
+	case bus.CR:
+		n.procCopies[tx.Addr] = true
+		if tx.Initiator != bus.Agent(n) {
+			// The processor fetched the block: the message data has
+			// left the device; the copy here is dead weight.
+			n.live[tx.Addr] = false
+		}
+	case bus.CRI:
+		// The processor took exclusive ownership: it holds the block.
+		n.procCopies[tx.Addr] = true
+		if n.inSendEntries(tx.Addr) {
+			n.sendPulled[tx.Addr] = false
+			n.virtualPollHint(tx.Addr)
+		}
+		if tx.Addr == n.recvHeadAddr() {
+			// The processor is advancing the receive head: wake the
+			// receive engine if it is waiting for space.
+			n.recvHeadMove.Signal()
+		}
+	case bus.CI:
+		n.procCopies[tx.Addr] = false
+	case bus.WB:
+		if !n.memHomed && isHome && n.inSendEntries(tx.Addr) {
+			// The processor evicted a dirty send-queue block to its
+			// home (us): the data is here, no pull needed.
+			n.sendPulled[tx.Addr] = true
+		}
+	}
+	return sn
+}
+
+// virtualPollHint implements §3's virtual-polling variant: queues fill
+// in FIFO order, so an invalidation for block k+1 of a message implies
+// the processor finished writing block k; the device pulls it early.
+func (n *cniq) virtualPollHint(addr uint64) {
+	off := addr - entryAddr(n.d.SendQBase, 0, 0)
+	blockInEntry := (off / params.BlockBytes) % params.BlocksPerNetMsg
+	if blockInEntry == 0 {
+		return
+	}
+	prev := addr - params.BlockBytes
+	if !n.sendPulled[prev] {
+		n.sendHints = append(n.sendHints, prev)
+		n.sendWork.Signal()
+	}
+}
+
+// RegRead implements bus.Device. The CQ designs expose no polled
+// status registers; reads exist for diagnostics.
+func (n *cniq) RegRead(reg uint64) uint64 {
+	switch reg {
+	case RegSendStatus:
+		return n.sendHeadPos
+	case RegRecvStatus:
+		return n.recvTailPos
+	}
+	return 0
+}
+
+// RegWrite implements bus.Device: the only control write is the
+// message-ready signal (§3).
+func (n *cniq) RegWrite(reg, val uint64) {
+	if reg != RegSendCommit {
+		return
+	}
+	if len(n.sendStageQ) == 0 {
+		panic("cniq: message-ready with no staged message")
+	}
+	n.sendCommitted = append(n.sendCommitted, n.sendStageQ[0])
+	n.sendStageQ = n.sendStageQ[1:]
+	n.sendWork.Signal()
+}
+
+// TrySend implements NI: the CQ send protocol (§3): check for space
+// using the lazy shadow head, write the message into the entry with
+// cached stores, bump the private tail, and post the message-ready
+// uncached store.
+func (n *cniq) TrySend(p *sim.Process, m *network.Msg) bool {
+	cpu := n.d.CPU
+	// Software full check against the shadow head (a private cached
+	// variable: a hit).
+	cpu.Load(p, n.d.ShadowBase)
+	full := n.sendTailPos-n.sendShadow >= uint64(n.entries)
+	if full || n.d.Cfg.NoLazyPointers {
+		// Re-read the real head pointer (a miss whenever the device
+		// has advanced it since we last looked).
+		cpu.Load(p, n.sendHeadAddr())
+		n.sendShadow = n.sendHeadPos
+		if n.sendTailPos-n.sendShadow >= uint64(n.entries) {
+			n.d.Stats.Inc(n.name + ".send.full")
+			return false
+		}
+	}
+	// Write the message (header + payload + valid word in block 0).
+	for b := 0; b < m.Blocks; b++ {
+		base := n.sendEntryAddr(n.sendTailPos, b)
+		bytes := params.BlockBytes
+		if b == m.Blocks-1 {
+			bytes = m.Size + params.HeaderBytes - b*params.BlockBytes
+		}
+		cpu.StoreRange(p, base, bytes)
+	}
+	// Advance the private tail (hit) and signal message-ready.
+	cpu.Store(p, n.d.ShadowBase+8)
+	n.sendTailPos++
+	n.sendStageQ = append(n.sendStageQ, m)
+	cpu.UncachedStore(p, n, RegSendCommit, 1)
+	n.d.Stats.Inc(n.name + ".send.msg")
+	return true
+}
+
+// sendEngine is the device's pull side: it services virtual-polling
+// hints eagerly and drains committed messages into the inject FIFO,
+// advancing the send head pointer.
+func (n *cniq) sendEngine(p *sim.Process) {
+	for {
+		if len(n.sendHints) > 0 {
+			addr := n.sendHints[0]
+			n.sendHints = n.sendHints[1:]
+			if !n.sendPulled[addr] {
+				n.d.Fabric.Do(p, bus.Tx{Kind: bus.CR, Addr: addr, Initiator: n})
+				n.sendPulled[addr] = true
+				n.d.Stats.Inc(n.name + ".send.hintpull")
+			}
+			continue
+		}
+		if len(n.sendCommitted) == 0 {
+			n.sendWork.Wait(p)
+			continue
+		}
+		m := n.sendCommitted[0]
+		for b := 0; b < m.Blocks; b++ {
+			addr := n.sendEntryAddr(n.sendHeadPos, b)
+			if !n.sendPulled[addr] {
+				n.d.Fabric.Do(p, bus.Tx{Kind: bus.CR, Addr: addr, Initiator: n})
+				n.d.Stats.Inc(n.name + ".send.pull")
+			}
+		}
+		// Entry consumed: forget pull state for its blocks.
+		for b := 0; b < params.BlocksPerNetMsg; b++ {
+			delete(n.sendPulled, n.sendEntryAddr(n.sendHeadPos, b))
+		}
+		n.sendCommitted = n.sendCommitted[1:]
+		for len(n.injectFIFO) >= injectFIFOCap {
+			n.injectSpace.Wait(p)
+		}
+		n.injectFIFO = append(n.injectFIFO, m)
+		n.injectWork.Signal()
+		n.sendHeadPos++
+		n.publishPointer(p, n.sendHeadAddr())
+	}
+}
+
+// publishPointer performs the bus work for a device write to a
+// pointer block: invalidate the processor's copy if it holds one.
+// (For the memory-homed design the pointer blocks are pinned in the
+// device, so the write itself stays internal either way.)
+func (n *cniq) publishPointer(p *sim.Process, addr uint64) {
+	if n.procCopies[addr] {
+		n.d.Fabric.Do(p, bus.Tx{Kind: bus.CI, Addr: addr, Initiator: n})
+		n.procCopies[addr] = false
+	}
+	if n.memHomed {
+		n.dc.setState(addr, cache.Modified) // re-own the pinned line
+	}
+}
+
+// injector drains the inject FIFO into the network.
+func (n *cniq) injector(p *sim.Process) {
+	for {
+		for len(n.injectFIFO) == 0 {
+			n.injectWork.Wait(p)
+		}
+		m := n.injectFIFO[0]
+		n.d.Net.Inject(p, m)
+		n.injectFIFO = n.injectFIFO[1:]
+		n.injectSpace.Signal()
+	}
+}
+
+// NetDeliver implements network.Port: accept into the landing buffers.
+func (n *cniq) NetDeliver(m *network.Msg) bool {
+	if len(n.recvStage) >= recvStageCap {
+		return false
+	}
+	n.recvStage = append(n.recvStage, m)
+	n.recvWork.Signal()
+	return true
+}
+
+// recvEngine writes arrived messages into receive-queue entries:
+// lazy full check against the processor head, one block write per
+// used block (invalidation traffic + CNI16Qm device-cache handling),
+// valid word last.
+func (n *cniq) recvEngine(p *sim.Process) {
+	for {
+		if len(n.recvStage) == 0 {
+			n.recvWork.Wait(p)
+			continue
+		}
+		m := n.recvStage[0]
+		for n.recvTailPos-n.recvShadow >= uint64(n.entries) {
+			// Shadow says full: refresh by reading the processor's head
+			// pointer block (lazy pointers, device side).
+			n.d.Fabric.Do(p, bus.Tx{Kind: bus.CR, Addr: n.recvHeadAddr(), Initiator: n})
+			n.d.Stats.Inc(n.name + ".recv.headrefresh")
+			n.recvShadow = n.recvProcHead
+			if n.recvTailPos-n.recvShadow >= uint64(n.entries) {
+				// Truly full: sleep until the snooped coherence traffic
+				// says the processor advanced its head (the refresh
+				// above downgraded the processor's copy, so the next
+				// head increment is a bus-visible invalidation).
+				n.d.Stats.Inc(n.name + ".recv.qfull")
+				n.recvHeadMove.Wait(p)
+			}
+		}
+		// Write payload blocks first, the valid word (block 0) last, so
+		// a racing poll sees the old sense until the entry is complete.
+		for i := 1; i < m.Blocks; i++ {
+			n.devWriteBlock(p, n.recvEntryAddr(n.recvTailPos, i))
+			if n.d.Cfg.UpdateProtocol {
+				n.pushUpdate(p, n.recvEntryAddr(n.recvTailPos, i))
+			}
+		}
+		if n.d.Cfg.NoValidBits {
+			// Ablation: receiver polls the tail pointer instead, so the
+			// device must publish it for every message.
+			n.devWriteBlock(p, n.recvTailAddr())
+		}
+		n.devWriteBlock(p, n.recvEntryAddr(n.recvTailPos, 0))
+		if n.d.Cfg.UpdateProtocol {
+			n.pushUpdate(p, n.recvEntryAddr(n.recvTailPos, 0))
+		}
+		n.recvStage = n.recvStage[1:]
+		n.recvEntries = append(n.recvEntries, m)
+		n.recvTailPos++
+		n.d.Net.Unblock(n.d.NodeID)
+	}
+}
+
+// devWriteBlock performs the bus work for the device writing one of
+// its queue blocks.
+func (n *cniq) devWriteBlock(p *sim.Process, addr uint64) {
+	if n.memHomed {
+		// Memory-homed: the device cache takes ownership. Evict the
+		// victim first — a live victim (unread message) is the §5.1.2
+		// overflow writeback; a dead one is dropped silently. The write
+		// itself needs a bus invalidation only when the processor holds
+		// a copy (the device's duplicate snoop tags tell it; the device
+		// is the only writer of these blocks, so a silent upgrade is
+		// safe and mirrors the device-homed accounting).
+		if victim, dirty := n.dc.ensure(addr); dirty && n.live[victim] {
+			n.d.Fabric.Do(p, bus.Tx{Kind: bus.WB, Addr: victim, Initiator: n})
+			n.d.Stats.Inc(n.name + ".recv.overflowWB")
+		}
+		if n.procCopies[addr] && !n.d.Cfg.UpdateProtocol {
+			n.d.Fabric.Do(p, bus.Tx{Kind: bus.CI, Addr: addr, Initiator: n})
+			n.procCopies[addr] = false
+		}
+		n.live[addr] = true
+		n.dc.setState(addr, cache.Modified)
+		return
+	}
+	// Device-homed: the write is internal; invalidate the processor's
+	// stale copy if it holds one. Under the update-protocol extension
+	// the subsequent push refreshes the copy instead of invalidating.
+	if n.procCopies[addr] && !n.d.Cfg.UpdateProtocol {
+		n.d.Fabric.Do(p, bus.Tx{Kind: bus.CI, Addr: addr, Initiator: n})
+		n.procCopies[addr] = false
+	}
+}
+
+// pushUpdate implements the optional update-protocol extension: after
+// writing a block, broadcast the fresh contents so the processor's
+// invalidated frame refills and its next poll hits.
+func (n *cniq) pushUpdate(p *sim.Process, addr uint64) {
+	n.d.Fabric.Do(p, bus.Tx{Kind: bus.UP, Addr: addr, Initiator: n})
+	n.procCopies[addr] = true
+	if n.memHomed {
+		// The processor now shares the block: our dirty copy is Owned.
+		if n.dc.stateOf(addr) == cache.Modified {
+			n.dc.setState(addr, cache.Owned)
+		}
+	}
+	n.d.Stats.Inc(n.name + ".recv.update")
+}
+
+// TryRecv implements NI: the CQ receive protocol (§2.2, §3): poll the
+// head entry's valid word (a hit while nothing changed), read the
+// message blocks, advance the head pointer.
+func (n *cniq) TryRecv(p *sim.Process) *network.Msg {
+	cpu := n.d.CPU
+	if n.d.Cfg.NoValidBits {
+		cpu.Load(p, n.recvTailAddr())
+	} else {
+		cpu.Load(p, n.recvEntryAddr(n.recvProcHead, 0))
+	}
+	if len(n.recvEntries) == 0 {
+		n.d.Stats.Inc(n.name + ".recv.poll.empty")
+		return nil
+	}
+	m := n.recvEntries[0]
+	// Read the rest of the message: remainder of block 0, then the
+	// other blocks (one miss each, supplied by the device or memory).
+	first := m.Size + params.HeaderBytes
+	if first > params.BlockBytes {
+		first = params.BlockBytes
+	}
+	if n.d.Cfg.NoValidBits {
+		cpu.LoadRange(p, n.recvEntryAddr(n.recvProcHead, 0), first)
+	} else if first > 8 {
+		cpu.LoadRange(p, n.recvEntryAddr(n.recvProcHead, 0)+8, first-8)
+	}
+	for b := 1; b < m.Blocks; b++ {
+		bytes := params.BlockBytes
+		if b == m.Blocks-1 {
+			bytes = m.Size + params.HeaderBytes - b*params.BlockBytes
+		}
+		cpu.LoadRange(p, n.recvEntryAddr(n.recvProcHead, b), bytes)
+	}
+	if n.d.Cfg.NoSenseReverse {
+		// Ablation: explicitly clear the valid word, which transfers
+		// ownership of the block to the processor (the cost sense
+		// reverse eliminates).
+		cpu.Store(p, n.recvEntryAddr(n.recvProcHead, 0))
+	}
+	n.recvEntries = n.recvEntries[1:]
+	n.recvProcHead++
+	// Advance the head pointer (a hit while the device isn't looking;
+	// one CRI per device refresh otherwise).
+	cpu.Store(p, n.recvHeadAddr())
+	n.d.Stats.Inc(n.name + ".recv.msg")
+	return m
+}

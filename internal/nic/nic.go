@@ -1,0 +1,133 @@
+// Package nic implements the paper's five network interface devices
+// (Table 1):
+//
+//	NI2w     — CM-5-like baseline; two words exposed via uncachable
+//	           device registers and hardware FIFOs.
+//	CNI4     — one 256-byte message exposed through four cachable
+//	           device registers (CDRs); reuse via the explicit
+//	           three-cycle handshake (§2.1).
+//	CNI16Q   — 16-block cachable queue homed on the device (§2.2, §3).
+//	CNI512Q  — 512-block cachable queue homed on the device.
+//	CNI16Qm  — 512-block cachable queue homed in main memory with a
+//	           16-block device cache; overflow writes back to memory.
+//
+// Each NI is simultaneously three things: a bus agent (it snoops the
+// coherence protocol — that is the paper's whole point), a network
+// port, and a processor-side software protocol (the exact sequence of
+// cached/uncached operations a send or receive performs, which this
+// package executes against the simulated CPU so that every bus
+// transaction the paper counts actually happens on the simulated bus).
+//
+// Logical message payloads ride alongside the timing model: the
+// simulated memory system carries coherence state, not bytes, so the
+// *network.Msg object is "staged" at the device when the software
+// commit operation executes. This modelling shortcut is documented in
+// DESIGN.md and does not change any bus traffic.
+package nic
+
+import (
+	"fmt"
+
+	"repro/internal/bus"
+	"repro/internal/network"
+	"repro/internal/params"
+	"repro/internal/proc"
+	"repro/internal/sim"
+)
+
+// Device register offsets (device-local, uncachable).
+const (
+	RegSendStatus uint64 = 0x00 // nonzero: NI can accept a message
+	RegSendData   uint64 = 0x08 // NI2w: message words are stored here
+	RegSendCommit uint64 = 0x10 // commit / "message ready" signal
+	RegRecvStatus uint64 = 0x18 // nonzero: a message is available
+	RegRecvData   uint64 = 0x20 // NI2w: message words are read here
+	RegRecvPop    uint64 = 0x28 // CNI4: explicit pop / CDR clear
+)
+
+// NI is one node's network interface: device side plus the
+// processor-side send/receive software protocol.
+type NI interface {
+	bus.Device
+	network.Port
+
+	// Kind identifies the design (Table 1).
+	Kind() params.NIKind
+
+	// TrySend attempts to hand one network message to the NI, executing
+	// the design's processor-side send protocol on the calling process.
+	// It returns false (after the cost of the failed admission check)
+	// when the NI cannot currently accept; the messaging layer then
+	// runs software flow control (§4.1) and retries.
+	TrySend(p *sim.Process, m *network.Msg) bool
+
+	// TryRecv attempts to extract one message, executing the design's
+	// processor-side receive protocol (including the poll). It returns
+	// nil (after the poll cost) when no message is available.
+	TryRecv(p *sim.Process) *network.Msg
+}
+
+// Deps bundles what every NI needs from the node.
+type Deps struct {
+	Eng    *sim.Engine
+	Stats  *sim.Stats
+	Fabric *bus.Fabric
+	CPU    *proc.CPU
+	Net    *network.Network
+	NodeID int
+	Loc    params.BusKind
+	Cfg    params.Config
+
+	// SendQBase/RecvQBase are block-aligned base addresses of the send
+	// and receive queue regions (pointer blocks + entry blocks). The
+	// machine package allocates them and installs bus regions.
+	SendQBase uint64
+	RecvQBase uint64
+	// ShadowBase is a node-private DRAM address used for the software's
+	// per-queue shadow pointers and scratch variables.
+	ShadowBase uint64
+}
+
+// name returns the canonical stats prefix for node id's NI.
+func (d *Deps) name() string { return fmt.Sprintf("node%d.ni", d.NodeID) }
+
+// New constructs the NI selected by d.Cfg.
+func New(d Deps) NI {
+	switch d.Cfg.NI {
+	case params.NI2w:
+		return newNI2w(d)
+	case params.CNI4:
+		return newCNI4(d)
+	case params.CNI16Q, params.CNI512Q:
+		return newCNIQ(d, false)
+	case params.CNI16Qm:
+		return newCNIQ(d, true)
+	case params.DMA:
+		return newDMA(d)
+	}
+	panic("nic: unknown NI kind")
+}
+
+// Queue-region geometry shared by the CQ designs: block 0 holds the
+// head pointer, block 1 the tail pointer, entries follow, one network
+// message (4 blocks) per entry.
+const (
+	headPtrBlock = 0
+	tailPtrBlock = 1
+	entryBlock0  = 2
+)
+
+// entryAddr returns the address of block b of entry e in the queue
+// region at base.
+func entryAddr(base uint64, e, b int) uint64 {
+	return base + uint64(entryBlock0+e*params.BlocksPerNetMsg+b)*params.BlockBytes
+}
+
+// headAddr returns the head-pointer block address for a queue region.
+func headAddr(base uint64) uint64 { return base + headPtrBlock*params.BlockBytes }
+
+// QueueRegionBytes returns the size of one CQ region (pointers +
+// entries) for a queue of qblocks message blocks.
+func QueueRegionBytes(qblocks int) uint64 {
+	return uint64(entryBlock0+qblocks) * params.BlockBytes
+}

@@ -1,0 +1,361 @@
+// Package params holds the timing model and experiment configuration
+// for the CNI reproduction.
+//
+// All times are in 200 MHz processor cycles, matching the paper's
+// Table 2 ("Bus Occupancy for Network Interface and Memory Access in
+// Processor Cycles"): the simulated machine has a 200 MHz dual-issue
+// SPARC-like processor, a 100 MHz multiplexed coherent memory bus, and
+// a 50 MHz multiplexed coherent I/O bus behind an I/O bridge.
+package params
+
+import "fmt"
+
+// BusKind identifies where a network interface is attached.
+type BusKind int
+
+const (
+	// CacheBus attaches the NI at the processor's cache bus: accesses
+	// cost 4 cycles and consume no memory-bus bandwidth. The paper uses
+	// NI2w on the cache bus as a rough performance upper bound (§5).
+	CacheBus BusKind = iota
+	// MemoryBus is the 100 MHz coherent memory bus.
+	MemoryBus
+	// IOBus is the 50 MHz coherent I/O bus behind the I/O bridge.
+	IOBus
+)
+
+func (b BusKind) String() string {
+	switch b {
+	case CacheBus:
+		return "cache"
+	case MemoryBus:
+		return "memory"
+	case IOBus:
+		return "io"
+	}
+	return fmt.Sprintf("BusKind(%d)", int(b))
+}
+
+// NIKind identifies one of the paper's five network interface designs
+// (Table 1).
+type NIKind int
+
+const (
+	// NI2w is the CM-5-like baseline: two 4-byte words of the message
+	// exposed through uncachable device registers.
+	NI2w NIKind = iota
+	// CNI4 exposes one 256-byte network message through four cachable
+	// device registers; status/control stay uncached; reuse needs the
+	// explicit three-cycle handshake (§2.1).
+	CNI4
+	// CNI16Q is a 16-block cachable queue homed on the device.
+	CNI16Q
+	// CNI512Q is a 512-block cachable queue homed on the device.
+	CNI512Q
+	// CNI16Qm is a 512-block cachable queue homed in main memory with a
+	// 16-block device cache; overflow writes back to memory (§3).
+	CNI16Qm
+	// DMA is this reproduction's extension: a user-level-DMA message
+	// NI (SHRIMP/UDMA-like) for the comparison the paper lists as its
+	// open weakness (§1). Sends post a descriptor; the device moves
+	// whole messages to/from main memory; receivers are notified
+	// through an interrupt-cost model. Not part of the paper's Table 1
+	// taxonomy (excluded from AllNIs).
+	DMA
+)
+
+func (n NIKind) String() string {
+	switch n {
+	case NI2w:
+		return "NI2w"
+	case CNI4:
+		return "CNI4"
+	case CNI16Q:
+		return "CNI16Q"
+	case CNI512Q:
+		return "CNI512Q"
+	case CNI16Qm:
+		return "CNI16Qm"
+	case DMA:
+		return "DMA"
+	}
+	return fmt.Sprintf("NIKind(%d)", int(n))
+}
+
+// AllNIs lists the five designs in the paper's presentation order.
+var AllNIs = []NIKind{NI2w, CNI4, CNI16Q, CNI512Q, CNI16Qm}
+
+// QueueBlocks returns the exposed queue size in 64-byte blocks
+// (Table 1's subscript). NI2w exposes two 4-byte words, reported
+// as 0 blocks here; use ExposedWords for it.
+func (n NIKind) QueueBlocks() int {
+	switch n {
+	case CNI4:
+		return 4
+	case CNI16Q, CNI16Qm:
+		return 16
+	case CNI512Q:
+		return 512
+	}
+	return 0
+}
+
+// IsCQ reports whether the design manages its exposed region as an
+// explicit memory-based queue (taxonomy placeholder X = Q or Qm).
+func (n NIKind) IsCQ() bool {
+	return n == CNI16Q || n == CNI512Q || n == CNI16Qm
+}
+
+// MemoryHomed reports whether the queue's home is main memory
+// (taxonomy X = Qm).
+func (n NIKind) MemoryHomed() bool { return n == CNI16Qm }
+
+// Machine-wide architectural constants (paper §4.1).
+const (
+	// CPUMHz etc. document the clock ratios behind the cycle costs.
+	CPUMHz    = 200
+	MemBusMHz = 100
+	IOBusMHz  = 50
+
+	// BlockBytes is the cache/memory block and bus transfer size.
+	BlockBytes = 64
+	// ProcCacheBytes is the single-level direct-mapped processor cache.
+	ProcCacheBytes = 256 * 1024
+
+	// NetMsgBytes is the fixed network message size.
+	NetMsgBytes = 256
+	// HeaderBytes is the per-network-message header overhead.
+	HeaderBytes = 12
+	// MaxPayloadBytes is the user payload carried per network message.
+	MaxPayloadBytes = NetMsgBytes - HeaderBytes
+	// BlocksPerNetMsg is how many cache blocks a full message spans.
+	BlocksPerNetMsg = NetMsgBytes / BlockBytes
+
+	// NetLatency is the network traversal time in CPU cycles (from
+	// injection of the last byte to arrival of the first).
+	NetLatency = 100
+	// NetWindow is the hardware sliding-window limit: messages in
+	// flight per destination before the sender blocks for acks.
+	NetWindow = 4
+
+	// StoreBufferDepth models the processor's store buffer for posted
+	// uncached stores; MEMBAR drains it.
+	StoreBufferDepth = 8
+	// BridgeBufferDepth is the I/O bridge's posted write/invalidate
+	// queue.
+	BridgeBufferDepth = 8
+
+	// NI2wFIFOMsgs is the hardware FIFO depth (in 256-byte network
+	// messages) of the baseline NI in each direction. The CM-5 NI had
+	// very shallow buffering (on the order of a message or two); the
+	// paper notes NI2w's "limited buffering in the device" forces
+	// software message draining.
+	NI2wFIFOMsgs = 2
+	// CNI4DeviceFIFOMsgs is the device-internal queue behind the CDR
+	// (the exposed region is a single message; Table 1).
+	CNI4DeviceFIFOMsgs = 2
+
+	// DMADescriptors is the DMA NI's descriptor ring depth (sends in
+	// flight) and its receive-buffer depth in messages.
+	DMADescriptors = 8
+	// InterruptCycles is the receive-notification cost of the DMA NI:
+	// vectoring, kernel entry/exit, and handler dispatch. 1000 cycles
+	// (5 us at 200 MHz) is optimistic for mid-90s hardware — the
+	// paper calls interrupts "relatively heavy-weight".
+	InterruptCycles = 1000
+)
+
+// Table 2 bus occupancies, in processor cycles.
+const (
+	HitCycles = 1 // cached load/store hit (dual-issue 200 MHz core)
+
+	UncLoadCacheBus = 4
+	UncLoadMemBus   = 28
+	UncLoadIOBus    = 48
+
+	UncStoreCacheBus = 4
+	UncStoreMemBus   = 12
+	UncStoreIOBus    = 32
+
+	// 64-byte block transfers.
+	BlockMemBus      = 42 // any 64-byte transfer on the memory bus
+	BlockIODevToProc = 76 // cache-to-cache, CNI -> processor, I/O bus
+	BlockIOProcToDev = 62 // cache-to-cache, processor -> CNI, I/O bus
+
+	// Invalidate-only transactions (address phase, no data). The MBus
+	// calibration in DESIGN.md: stores to Shared/Owned blocks issue a
+	// full coherent-read-invalidate instead, so these are used only for
+	// the CNI4 explicit-clear handshake and receive-side queue-entry
+	// invalidations by the device.
+	InvalMemBus = 12
+	InvalIOBus  = 32
+)
+
+// AgentClass classifies bus agents for transfer-cost selection.
+type AgentClass int
+
+const (
+	ClassProc AgentClass = iota
+	ClassDevice
+	ClassMemory
+)
+
+func (c AgentClass) String() string {
+	switch c {
+	case ClassProc:
+		return "proc"
+	case ClassDevice:
+		return "device"
+	case ClassMemory:
+		return "memory"
+	}
+	return fmt.Sprintf("AgentClass(%d)", int(c))
+}
+
+// BlockTransferCost returns the occupancy of a 64-byte transfer on the
+// given bus with data flowing from supplier to requester.
+func BlockTransferCost(bus BusKind, supplier, requester AgentClass) uint64 {
+	switch bus {
+	case MemoryBus:
+		return BlockMemBus
+	case IOBus:
+		if supplier == ClassDevice {
+			return BlockIODevToProc
+		}
+		return BlockIOProcToDev
+	case CacheBus:
+		return 4
+	}
+	panic("params: bad bus kind")
+}
+
+// UncachedLoadCost returns the round-trip cost of an 8-byte uncached
+// load from a device on the given bus.
+func UncachedLoadCost(bus BusKind) uint64 {
+	switch bus {
+	case CacheBus:
+		return UncLoadCacheBus
+	case MemoryBus:
+		return UncLoadMemBus
+	case IOBus:
+		return UncLoadIOBus
+	}
+	panic("params: bad bus kind")
+}
+
+// UncachedStoreCost returns the occupancy of an 8-byte uncached store
+// to a device on the given bus.
+func UncachedStoreCost(bus BusKind) uint64 {
+	switch bus {
+	case CacheBus:
+		return UncStoreCacheBus
+	case MemoryBus:
+		return UncStoreMemBus
+	case IOBus:
+		return UncStoreIOBus
+	}
+	panic("params: bad bus kind")
+}
+
+// InvalidateCost returns the occupancy of an address-only invalidation.
+func InvalidateCost(bus BusKind) uint64 {
+	switch bus {
+	case CacheBus:
+		return 4
+	case MemoryBus:
+		return InvalMemBus
+	case IOBus:
+		return InvalIOBus
+	}
+	panic("params: bad bus kind")
+}
+
+// Config selects a machine + NI configuration for one simulation run.
+type Config struct {
+	Nodes int     // number of nodes (paper: 16; microbenchmarks: 2)
+	NI    NIKind  // which network interface design
+	Bus   BusKind // where the NI is attached
+
+	// Snarfing enables data snarfing on the processor cache: the cache
+	// loads a block from an observed writeback when it has a matching
+	// tag in Invalid state (§5.1.2, CNI16Qm only in the paper).
+	Snarfing bool
+
+	// UpdateProtocol enables the paper's suggested update-based
+	// enhancement (§2.2, §5.1.2): after writing a receive-queue block,
+	// the CNI pushes the fresh contents onto the bus so the
+	// processor's invalidated copy refills in place — the receiver's
+	// poll then hits, "eliminating even the cache miss". Applies to
+	// the CQ designs.
+	UpdateProtocol bool
+
+	// Ablation switches for the CQ optimisations (§2.2). All false
+	// reproduces the paper's CNIs.
+	NoLazyPointers bool // sender re-reads head every enqueue
+	NoValidBits    bool // receiver polls the tail pointer instead
+	NoSenseReverse bool // receiver explicitly clears valid bits (extra ownership traffic)
+
+	// QueueBlocksOverride, if nonzero, replaces the NI's exposed queue
+	// size (for sweep ablations).
+	QueueBlocksOverride int
+
+	// NI2wFIFOOverride, if nonzero, replaces NI2wFIFOMsgs.
+	NI2wFIFOOverride int
+}
+
+// Validate reports configuration errors, including the paper's
+// structural constraints (§2.3, §5): CNI16Qm cannot be implemented on
+// a coherent I/O bus, and only NI2w is considered on the cache bus.
+func (c Config) Validate() error {
+	if c.Nodes < 2 {
+		return fmt.Errorf("params: need at least 2 nodes, have %d", c.Nodes)
+	}
+	if c.NI == CNI16Qm && c.Bus == IOBus {
+		return fmt.Errorf("params: CNI16Qm cannot live on the I/O bus (memory cannot be its coherent home there)")
+	}
+	if c.Bus == CacheBus && c.NI != NI2w {
+		return fmt.Errorf("params: only NI2w is modelled on the cache bus")
+	}
+	if c.Snarfing && c.NI != CNI16Qm {
+		return fmt.Errorf("params: snarfing only applies to CNI16Qm (writebacks to memory)")
+	}
+	if c.UpdateProtocol && !c.NI.IsCQ() {
+		return fmt.Errorf("params: the update-protocol extension applies to the CQ designs")
+	}
+	return nil
+}
+
+// QueueBlocks returns the effective exposed-queue size for the run.
+func (c Config) QueueBlocks() int {
+	if c.QueueBlocksOverride != 0 {
+		return c.QueueBlocksOverride
+	}
+	return c.NI.QueueBlocks()
+}
+
+// TotalQueueBlocks returns the total (memory-backed) queue capacity:
+// for CNI16Qm the 512-block main-memory region; otherwise the exposed
+// size.
+func (c Config) TotalQueueBlocks() int {
+	if c.NI == CNI16Qm {
+		return 512
+	}
+	return c.QueueBlocks()
+}
+
+// NI2wFIFO returns the effective baseline FIFO depth in messages.
+func (c Config) NI2wFIFO() int {
+	if c.NI2wFIFOOverride != 0 {
+		return c.NI2wFIFOOverride
+	}
+	return NI2wFIFOMsgs
+}
+
+// Name renders a short label like "CNI16Qm@memory" for tables.
+func (c Config) Name() string {
+	s := c.NI.String() + "@" + c.Bus.String()
+	if c.Snarfing {
+		s += "+snarf"
+	}
+	return s
+}

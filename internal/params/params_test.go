@@ -1,0 +1,112 @@
+package params
+
+import "testing"
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		ok   bool
+	}{
+		{"one node", Config{Nodes: 1, NI: NI2w, Bus: MemoryBus}, false},
+		{"two nodes ok", Config{Nodes: 2, NI: NI2w, Bus: MemoryBus}, true},
+		{"Qm on io", Config{Nodes: 2, NI: CNI16Qm, Bus: IOBus}, false},
+		{"Qm on memory", Config{Nodes: 2, NI: CNI16Qm, Bus: MemoryBus}, true},
+		{"CNI on cache bus", Config{Nodes: 2, NI: CNI4, Bus: CacheBus}, false},
+		{"NI2w on cache bus", Config{Nodes: 2, NI: NI2w, Bus: CacheBus}, true},
+		{"snarf on 512Q", Config{Nodes: 2, NI: CNI512Q, Bus: MemoryBus, Snarfing: true}, false},
+		{"snarf on Qm", Config{Nodes: 2, NI: CNI16Qm, Bus: MemoryBus, Snarfing: true}, true},
+	}
+	for _, c := range cases {
+		err := c.cfg.Validate()
+		if c.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", c.name, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestQueueBlocks(t *testing.T) {
+	if got := (Config{NI: CNI512Q}).QueueBlocks(); got != 512 {
+		t.Errorf("CNI512Q queue = %d", got)
+	}
+	if got := (Config{NI: CNI16Qm}).QueueBlocks(); got != 16 {
+		t.Errorf("CNI16Qm exposed queue = %d", got)
+	}
+	if got := (Config{NI: CNI16Qm}).TotalQueueBlocks(); got != 512 {
+		t.Errorf("CNI16Qm total queue = %d", got)
+	}
+	if got := (Config{NI: CNI16Q, QueueBlocksOverride: 64}).QueueBlocks(); got != 64 {
+		t.Errorf("override ignored: %d", got)
+	}
+	if NI2w.QueueBlocks() != 0 {
+		t.Error("NI2w exposes words, not blocks")
+	}
+}
+
+func TestTaxonomyPredicates(t *testing.T) {
+	if !CNI16Q.IsCQ() || !CNI512Q.IsCQ() || !CNI16Qm.IsCQ() {
+		t.Error("CQ designs misclassified")
+	}
+	if NI2w.IsCQ() || CNI4.IsCQ() {
+		t.Error("non-CQ designs misclassified")
+	}
+	if !CNI16Qm.MemoryHomed() || CNI16Q.MemoryHomed() {
+		t.Error("MemoryHomed wrong")
+	}
+}
+
+func TestNames(t *testing.T) {
+	if NI2w.String() != "NI2w" || CNI16Qm.String() != "CNI16Qm" {
+		t.Error("NIKind names wrong")
+	}
+	if MemoryBus.String() != "memory" || IOBus.String() != "io" || CacheBus.String() != "cache" {
+		t.Error("BusKind names wrong")
+	}
+	cfg := Config{Nodes: 2, NI: CNI16Qm, Bus: MemoryBus, Snarfing: true}
+	if cfg.Name() != "CNI16Qm@memory+snarf" {
+		t.Errorf("Name = %q", cfg.Name())
+	}
+}
+
+func TestTable2Costs(t *testing.T) {
+	// The paper's Table 2, verbatim.
+	if UncachedLoadCost(CacheBus) != 4 || UncachedLoadCost(MemoryBus) != 28 || UncachedLoadCost(IOBus) != 48 {
+		t.Error("uncached load costs diverge from Table 2")
+	}
+	if UncachedStoreCost(CacheBus) != 4 || UncachedStoreCost(MemoryBus) != 12 || UncachedStoreCost(IOBus) != 32 {
+		t.Error("uncached store costs diverge from Table 2")
+	}
+	if BlockTransferCost(MemoryBus, ClassDevice, ClassProc) != 42 {
+		t.Error("memory-bus block cost diverges from Table 2")
+	}
+	if BlockTransferCost(IOBus, ClassDevice, ClassProc) != 76 {
+		t.Error("I/O-bus CNI->proc cost diverges from Table 2")
+	}
+	if BlockTransferCost(IOBus, ClassProc, ClassDevice) != 62 {
+		t.Error("I/O-bus proc->CNI cost diverges from Table 2")
+	}
+	if BlockTransferCost(IOBus, ClassMemory, ClassDevice) != 62 {
+		t.Error("memory-supplied I/O transfer should use the proc->CNI direction")
+	}
+}
+
+func TestMessageGeometry(t *testing.T) {
+	if MaxPayloadBytes != 244 {
+		t.Errorf("MaxPayloadBytes = %d, want 244 (256 - 12)", MaxPayloadBytes)
+	}
+	if BlocksPerNetMsg != 4 {
+		t.Errorf("BlocksPerNetMsg = %d, want 4", BlocksPerNetMsg)
+	}
+}
+
+func TestNI2wFIFOOverride(t *testing.T) {
+	if got := (Config{}).NI2wFIFO(); got != NI2wFIFOMsgs {
+		t.Errorf("default FIFO = %d", got)
+	}
+	if got := (Config{NI2wFIFOOverride: 9}).NI2wFIFO(); got != 9 {
+		t.Errorf("override FIFO = %d", got)
+	}
+}

@@ -1,0 +1,129 @@
+// Package proc models the node's processor: a 200 MHz dual-issue
+// SPARC-like core (paper §4.1). The model is communication-directed:
+// computation is an explicit cycle cost, cachable accesses go through
+// the MOESI cache, uncached device accesses go over the buses, and a
+// store buffer makes uncached stores posted (with MEMBAR to drain it,
+// as the paper's three-cycle CDR handshake requires).
+package proc
+
+import (
+	"repro/internal/bus"
+	"repro/internal/cache"
+	"repro/internal/params"
+	"repro/internal/sim"
+)
+
+// pendingStore is one store-buffer entry.
+type pendingStore struct {
+	dev bus.Device
+	reg uint64
+	val uint64
+}
+
+// CPU is the simulated processor core. All methods taking a
+// *sim.Process must be called from the software process running on
+// this CPU; they advance simulated time.
+type CPU struct {
+	ID    int
+	eng   *sim.Engine
+	stats *sim.Stats
+	fab   *bus.Fabric
+	cache *cache.Cache
+	name  string
+
+	sbQ     []pendingStore
+	sbWork  *sim.Cond
+	sbSpace *sim.Cond
+}
+
+// New creates a CPU with its cache and starts the store-buffer drain
+// process.
+func New(e *sim.Engine, st *sim.Stats, f *bus.Fabric, c *cache.Cache, id int, name string) *CPU {
+	cpu := &CPU{
+		ID:      id,
+		eng:     e,
+		stats:   st,
+		fab:     f,
+		cache:   c,
+		name:    name,
+		sbWork:  sim.NewCond(e),
+		sbSpace: sim.NewCond(e),
+	}
+	e.Spawn(name+".sbdrain", cpu.drainStoreBuffer)
+	return cpu
+}
+
+// Cache exposes the CPU's cache (for machine assembly and tests).
+func (c *CPU) Cache() *cache.Cache { return c.cache }
+
+// Compute advances the process by n cycles of computation.
+func (c *CPU) Compute(p *sim.Process, n sim.Time) {
+	if n > 0 {
+		p.Sleep(n)
+	}
+}
+
+// Load performs a cachable load (up to 8 bytes) at addr.
+func (c *CPU) Load(p *sim.Process, addr uint64) { c.cache.Load(p, addr) }
+
+// Store performs a cachable store (up to 8 bytes) at addr.
+func (c *CPU) Store(p *sim.Process, addr uint64) { c.cache.Store(p, addr) }
+
+// LoadRange issues word loads covering [addr, addr+bytes).
+func (c *CPU) LoadRange(p *sim.Process, addr uint64, bytes int) {
+	for off := 0; off < bytes; off += 8 {
+		c.cache.Load(p, addr+uint64(off))
+	}
+}
+
+// StoreRange issues word stores covering [addr, addr+bytes).
+func (c *CPU) StoreRange(p *sim.Process, addr uint64, bytes int) {
+	for off := 0; off < bytes; off += 8 {
+		c.cache.Store(p, addr+uint64(off))
+	}
+}
+
+// UncachedLoad performs a blocking uncached 8-byte load from a device
+// register and returns the device's value. Like SPARC TSO device
+// access, it first drains the store buffer so posted uncached stores
+// reach the device before the load.
+func (c *CPU) UncachedLoad(p *sim.Process, dev bus.Device, reg uint64) uint64 {
+	c.Membar(p)
+	return c.fab.UncachedLoad(p, dev, reg)
+}
+
+// UncachedStore posts an uncached 8-byte store through the store
+// buffer: the processor stalls only when the buffer is full. The
+// store reaches the device when the drain process issues it on the
+// bus (use Membar to wait for that).
+func (c *CPU) UncachedStore(p *sim.Process, dev bus.Device, reg, val uint64) {
+	for len(c.sbQ) >= params.StoreBufferDepth {
+		c.stats.Inc(c.name + ".sb.full")
+		c.sbSpace.Wait(p)
+	}
+	c.sbQ = append(c.sbQ, pendingStore{dev, reg, val})
+	c.sbWork.Signal()
+	p.Sleep(params.HitCycles) // issue cost; completion is asynchronous
+}
+
+// Membar stalls until the store buffer has fully drained, including
+// the store currently occupying the bus.
+func (c *CPU) Membar(p *sim.Process) {
+	for len(c.sbQ) > 0 {
+		c.stats.Inc(c.name + ".membar.stall")
+		c.sbSpace.Wait(p)
+	}
+}
+
+// drainStoreBuffer is the store buffer's bus engine.
+func (c *CPU) drainStoreBuffer(p *sim.Process) {
+	for {
+		for len(c.sbQ) == 0 {
+			c.sbWork.Wait(p)
+		}
+		e := c.sbQ[0]
+		c.fab.UncachedStore(p, e.dev, e.reg, e.val)
+		c.sbQ = c.sbQ[1:]
+		c.sbSpace.Broadcast()
+	}
+}

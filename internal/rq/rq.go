@@ -1,0 +1,102 @@
+// Package rq implements Remote Queues (Brewer et al., SPAA'95) on top
+// of the CNI messaging layer, as the paper's §6 suggests:
+// "Implementing Remote Queues with CNIs is straightforward and offers
+// advantages over CM-5, Intel Paragon, MIT Alewife, and Cray T3D
+// network interfaces."
+//
+// Remote Queues provide a communication model similar to active
+// messages except that extracting a message from the network and
+// invoking its receive handler are decoupled: the sender enqueues
+// onto a named queue at the destination; the receiver dequeues and
+// processes at its own pace. On a CNI the arriving messages already
+// sit in cachable memory, so the "queue" costs nothing extra beyond
+// the demultiplex.
+package rq
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/msg"
+	"repro/internal/sim"
+)
+
+// hEnqueue is the active-message handler id the package reserves.
+const hEnqueue = 80
+
+// Item is one dequeued remote-queue element.
+type Item struct {
+	Src     int
+	Size    int
+	Payload any
+}
+
+// Endpoint gives one node a set of named remote queues.
+type Endpoint struct {
+	node   *machine.Node
+	queues map[int][]Item
+}
+
+// New wires remote-queue support onto every node of m and returns one
+// Endpoint per node. Call once per machine; the reserved handler id
+// must not be reused.
+func New(m *machine.Machine) []*Endpoint {
+	eps := make([]*Endpoint, len(m.Nodes))
+	for _, n := range m.Nodes {
+		ep := &Endpoint{node: n, queues: make(map[int][]Item)}
+		eps[n.ID] = ep
+		n.Msgr.Register(hEnqueue, func(ctx *msg.Context) {
+			qid := ctx.Payload.(payload).qid
+			ep.queues[qid] = append(ep.queues[qid], Item{
+				Src:     ctx.Src,
+				Size:    ctx.Size,
+				Payload: ctx.Payload.(payload).data,
+			})
+		})
+	}
+	return eps
+}
+
+// payload wraps the user payload with the queue id.
+type payload struct {
+	qid  int
+	data any
+}
+
+// Enqueue appends size payload bytes onto queue qid at node dst.
+func (e *Endpoint) Enqueue(p *sim.Process, dst, qid, size int, data any) {
+	e.node.Msgr.Send(p, dst, hEnqueue, size, payload{qid: qid, data: data})
+}
+
+// TryDequeue removes the oldest element of local queue qid. It first
+// drains any messages waiting in the NI (the decoupling: extraction
+// happens here, under receiver control, not in a handler at arrival).
+func (e *Endpoint) TryDequeue(p *sim.Process, qid int) (Item, bool) {
+	e.node.Msgr.DrainAvailable(p)
+	q := e.queues[qid]
+	if len(q) == 0 {
+		return Item{}, false
+	}
+	it := q[0]
+	e.queues[qid] = q[1:]
+	return it, true
+}
+
+// Dequeue blocks (in simulated time) until queue qid has an element.
+func (e *Endpoint) Dequeue(p *sim.Process, qid int) Item {
+	for {
+		if it, ok := e.TryDequeue(p, qid); ok {
+			return it
+		}
+		e.node.CPU.Compute(p, msg.PollLoopCycles)
+	}
+}
+
+// Len reports the locally visible length of queue qid (not counting
+// messages still in the NI).
+func (e *Endpoint) Len(qid int) int { return len(e.queues[qid]) }
+
+// String describes the endpoint.
+func (e *Endpoint) String() string {
+	return fmt.Sprintf("rq.Endpoint{node=%d queues=%d}", e.node.ID, len(e.queues))
+}

@@ -1,0 +1,42 @@
+package sim
+
+// Cond is a condition variable for simulated processes. Waiters queue
+// in FIFO order; Signal wakes exactly one. Because the simulation is
+// single-threaded, the usual "recheck the predicate in a loop" rule
+// still applies (another process may run between the signal and the
+// resumption), but no mutex is required.
+type Cond struct {
+	eng     *Engine
+	waiters []*Process
+}
+
+// NewCond returns a condition variable bound to the engine.
+func NewCond(e *Engine) *Cond { return &Cond{eng: e} }
+
+// Wait parks the calling process until Signal or Broadcast wakes it.
+func (c *Cond) Wait(p *Process) {
+	c.waiters = append(c.waiters, p)
+	p.park()
+}
+
+// Signal wakes the longest-waiting process, if any.
+func (c *Cond) Signal() {
+	if len(c.waiters) == 0 {
+		return
+	}
+	w := c.waiters[0]
+	c.waiters = c.waiters[1:]
+	w.scheduleWake(0)
+}
+
+// Broadcast wakes every waiting process in FIFO order.
+func (c *Cond) Broadcast() {
+	ws := c.waiters
+	c.waiters = nil
+	for _, w := range ws {
+		w.scheduleWake(0)
+	}
+}
+
+// Waiting reports the number of parked waiters.
+func (c *Cond) Waiting() int { return len(c.waiters) }

@@ -1,0 +1,134 @@
+// Package sim provides a deterministic discrete-event simulation engine
+// with cooperative coroutine-style processes.
+//
+// The engine is the substrate for the whole CNI reproduction: buses,
+// caches, network-interface devices, and the simulated processors are
+// all either event callbacks or Processes scheduled by one Engine.
+//
+// Determinism: events fire in (time, sequence) order, and at most one
+// process goroutine runs at any instant — the engine hands control to a
+// process and does not proceed until that process parks or terminates.
+// Two runs with the same inputs therefore produce identical schedules.
+//
+// An Engine is not safe for concurrent use from outside the simulation;
+// all interaction must happen from event callbacks or processes.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is the simulation clock in 200 MHz processor cycles.
+type Time uint64
+
+// Forever is a time later than any practical simulation horizon.
+const Forever Time = 1<<63 - 1
+
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event scheduler.
+// The zero value is not usable; call NewEngine.
+type Engine struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	yield   chan struct{} // the running process signals here when it parks or ends
+	abort   chan struct{} // closed by Stop to unwind parked processes
+	stopped bool
+	nprocs  int // live process goroutines
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{
+		yield: make(chan struct{}),
+		abort: make(chan struct{}),
+	}
+}
+
+// Now returns the current simulation time.
+func (e *Engine) Now() Time { return e.now }
+
+// Pending reports the number of scheduled events.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Schedule runs fn after delay cycles. A delay of zero runs fn after
+// all work at the current instant that was scheduled earlier.
+func (e *Engine) Schedule(delay Time, fn func()) {
+	e.ScheduleAt(e.now+delay, fn)
+}
+
+// ScheduleAt runs fn at absolute time at, which must not precede Now.
+func (e *Engine) ScheduleAt(at Time, fn func()) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule at %d before now %d", at, e.now))
+	}
+	e.seq++
+	heap.Push(&e.events, event{at: at, seq: e.seq, fn: fn})
+}
+
+// Run executes events until the event heap is empty or the clock would
+// pass horizon. It returns the time of the last executed event.
+// Processes blocked on conditions when the heap drains remain parked;
+// call Stop to unwind them.
+func (e *Engine) Run(horizon Time) Time {
+	if e.stopped {
+		panic("sim: Run after Stop")
+	}
+	for len(e.events) > 0 {
+		ev := e.events[0]
+		if ev.at > horizon {
+			break
+		}
+		heap.Pop(&e.events)
+		e.now = ev.at
+		ev.fn()
+	}
+	return e.now
+}
+
+// RunAll executes events until none remain.
+func (e *Engine) RunAll() Time { return e.Run(Forever) }
+
+// Stop unwinds every parked process goroutine and marks the engine
+// dead. It must be called after Run returns (never from inside the
+// simulation). Safe to call more than once.
+func (e *Engine) Stop() {
+	if e.stopped {
+		return
+	}
+	e.stopped = true
+	close(e.abort)
+	// Parked processes panic with errAborted when they observe the
+	// closed abort channel; their wrappers decrement nprocs and signal
+	// procExit, but since no event loop is running we simply wait for
+	// each goroutine to acknowledge via the yield channel.
+	for e.nprocs > 0 {
+		<-e.yield
+		e.nprocs--
+	}
+}

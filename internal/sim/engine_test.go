@@ -1,0 +1,231 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.Schedule(10, func() { got = append(got, 2) })
+	e.Schedule(5, func() { got = append(got, 1) })
+	e.Schedule(10, func() { got = append(got, 3) }) // same time, later seq
+	e.RunAll()
+	want := []int{1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 10 {
+		t.Fatalf("Now = %d, want 10", e.Now())
+	}
+}
+
+func TestScheduleZeroDelayRunsAtSameTime(t *testing.T) {
+	e := NewEngine()
+	var at Time
+	e.Schedule(7, func() {
+		e.Schedule(0, func() { at = e.Now() })
+	})
+	e.RunAll()
+	if at != 7 {
+		t.Fatalf("zero-delay event ran at %d, want 7", at)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic scheduling in the past")
+			}
+		}()
+		e.ScheduleAt(5, func() {})
+	})
+	e.RunAll()
+}
+
+func TestRunHorizon(t *testing.T) {
+	e := NewEngine()
+	ran := 0
+	e.Schedule(5, func() { ran++ })
+	e.Schedule(50, func() { ran++ })
+	e.Run(10)
+	if ran != 1 {
+		t.Fatalf("ran %d events before horizon, want 1", ran)
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", e.Pending())
+	}
+	e.RunAll()
+	if ran != 2 {
+		t.Fatalf("ran %d events total, want 2", ran)
+	}
+}
+
+func TestProcessSleep(t *testing.T) {
+	e := NewEngine()
+	var trace []Time
+	e.Spawn("sleeper", func(p *Process) {
+		trace = append(trace, p.Now())
+		p.Sleep(100)
+		trace = append(trace, p.Now())
+		p.Sleep(50)
+		trace = append(trace, p.Now())
+	})
+	e.RunAll()
+	want := []Time{0, 100, 150}
+	for i := range want {
+		if trace[i] != want[i] {
+			t.Fatalf("trace = %v, want %v", trace, want)
+		}
+	}
+}
+
+func TestProcessInterleavingDeterministic(t *testing.T) {
+	run := func() []string {
+		e := NewEngine()
+		var order []string
+		for _, name := range []string{"a", "b", "c"} {
+			name := name
+			e.Spawn(name, func(p *Process) {
+				for i := 0; i < 3; i++ {
+					order = append(order, name)
+					p.Sleep(10)
+				}
+			})
+		}
+		e.RunAll()
+		return order
+	}
+	first := run()
+	for trial := 0; trial < 20; trial++ {
+		again := run()
+		for i := range first {
+			if first[i] != again[i] {
+				t.Fatalf("nondeterministic interleaving: %v vs %v", first, again)
+			}
+		}
+	}
+}
+
+func TestCondSignalFIFO(t *testing.T) {
+	e := NewEngine()
+	c := NewCond(e)
+	var order []string
+	for _, name := range []string{"w1", "w2", "w3"} {
+		name := name
+		e.Spawn(name, func(p *Process) {
+			c.Wait(p)
+			order = append(order, name)
+		})
+	}
+	e.Spawn("signaler", func(p *Process) {
+		p.Sleep(10)
+		if c.Waiting() != 3 {
+			t.Errorf("Waiting = %d, want 3", c.Waiting())
+		}
+		c.Signal()
+		p.Sleep(10)
+		c.Broadcast()
+	})
+	e.RunAll()
+	want := []string{"w1", "w2", "w3"}
+	if len(order) != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestStopUnwindsParkedProcesses(t *testing.T) {
+	e := NewEngine()
+	c := NewCond(e)
+	for i := 0; i < 5; i++ {
+		e.Spawn("stuck", func(p *Process) {
+			c.Wait(p) // never signalled
+		})
+	}
+	e.RunAll()
+	e.Stop() // must not hang
+	e.Stop() // idempotent
+}
+
+func TestStatsCounters(t *testing.T) {
+	e := NewEngine()
+	s := NewStats(e)
+	s.Inc("x")
+	s.Add("x", 4)
+	s.Inc("y")
+	if s.Get("x") != 5 || s.Get("y") != 1 || s.Get("zero") != 0 {
+		t.Fatalf("counters wrong: x=%d y=%d", s.Get("x"), s.Get("y"))
+	}
+	names := s.Counters()
+	if len(names) != 2 || names[0] != "x" || names[1] != "y" {
+		t.Fatalf("Counters = %v", names)
+	}
+}
+
+func TestBusyTracker(t *testing.T) {
+	e := NewEngine()
+	s := NewStats(e)
+	b := s.Busy("bus")
+	e.Schedule(10, func() { b.SetBusy() })
+	e.Schedule(30, func() { b.SetIdle() })
+	e.Schedule(40, func() { b.AddBusy(5) })
+	e.Schedule(100, func() {})
+	e.RunAll()
+	if b.Total() != 25 {
+		t.Fatalf("Total = %d, want 25", b.Total())
+	}
+	if u := b.Utilisation(); u != 0.25 {
+		t.Fatalf("Utilisation = %v, want 0.25", u)
+	}
+}
+
+func TestSpawnManyProcessesStress(t *testing.T) {
+	e := NewEngine()
+	sum := 0
+	for i := 0; i < 200; i++ {
+		i := i
+		e.Spawn("p", func(p *Process) {
+			p.Sleep(Time(i % 17))
+			sum++
+		})
+	}
+	e.RunAll()
+	if sum != 200 {
+		t.Fatalf("sum = %d, want 200", sum)
+	}
+	e.Stop()
+}
+
+func TestProcessSleepZeroYields(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	e.Spawn("a", func(p *Process) {
+		order = append(order, "a1")
+		p.Sleep(0)
+		order = append(order, "a2")
+	})
+	e.Spawn("b", func(p *Process) {
+		order = append(order, "b1")
+		p.Sleep(0)
+		order = append(order, "b2")
+	})
+	e.RunAll()
+	want := []string{"a1", "b1", "a2", "b2"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package sim
+
+// FIFOMutex is a strictly fair mutual-exclusion lock for simulated
+// processes, used to model multiplexed buses that admit one
+// outstanding transaction. Unlock hands the lock directly to the
+// longest-waiting process, so arrival order equals service order.
+type FIFOMutex struct {
+	held    bool
+	waiters []*Process
+}
+
+// Lock blocks the process until it owns the mutex.
+func (m *FIFOMutex) Lock(p *Process) {
+	if !m.held {
+		m.held = true
+		return
+	}
+	m.waiters = append(m.waiters, p)
+	p.park() // direct handoff: the lock is ours when we resume
+}
+
+// Unlock releases the mutex or hands it to the next waiter.
+func (m *FIFOMutex) Unlock() {
+	if !m.held {
+		panic("sim: Unlock of unheld FIFOMutex")
+	}
+	if len(m.waiters) == 0 {
+		m.held = false
+		return
+	}
+	w := m.waiters[0]
+	m.waiters = m.waiters[1:]
+	// The mutex stays held on behalf of w.
+	w.scheduleWake(0)
+}
+
+// Held reports whether the mutex is currently owned.
+func (m *FIFOMutex) Held() bool { return m.held }
+
+// QueueLen reports the number of processes waiting for the mutex.
+func (m *FIFOMutex) QueueLen() int { return len(m.waiters) }

@@ -1,0 +1,79 @@
+package sim
+
+import "testing"
+
+func TestFIFOMutexExclusionAndOrder(t *testing.T) {
+	e := NewEngine()
+	var m FIFOMutex
+	var order []string
+	inside := 0
+	for _, name := range []string{"a", "b", "c", "d"} {
+		name := name
+		e.Spawn(name, func(p *Process) {
+			m.Lock(p)
+			inside++
+			if inside != 1 {
+				t.Errorf("mutual exclusion violated: %d inside", inside)
+			}
+			order = append(order, name)
+			p.Sleep(10)
+			inside--
+			m.Unlock()
+		})
+	}
+	e.RunAll()
+	want := []string{"a", "b", "c", "d"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want FIFO %v", order, want)
+		}
+	}
+	if m.Held() {
+		t.Fatal("mutex still held after all processes finished")
+	}
+}
+
+func TestFIFOMutexUncontended(t *testing.T) {
+	e := NewEngine()
+	var m FIFOMutex
+	e.Spawn("solo", func(p *Process) {
+		start := p.Now()
+		m.Lock(p)
+		if p.Now() != start {
+			t.Errorf("uncontended Lock advanced time by %d", p.Now()-start)
+		}
+		m.Unlock()
+	})
+	e.RunAll()
+}
+
+func TestFIFOMutexUnlockUnheldPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	var m FIFOMutex
+	m.Unlock()
+}
+
+func TestFIFOMutexQueueLen(t *testing.T) {
+	e := NewEngine()
+	var m FIFOMutex
+	e.Spawn("holder", func(p *Process) {
+		m.Lock(p)
+		p.Sleep(100)
+		if m.QueueLen() != 2 {
+			t.Errorf("QueueLen = %d, want 2", m.QueueLen())
+		}
+		m.Unlock()
+	})
+	for i := 0; i < 2; i++ {
+		e.Spawn("w", func(p *Process) {
+			p.Sleep(1)
+			m.Lock(p)
+			m.Unlock()
+		})
+	}
+	e.RunAll()
+}

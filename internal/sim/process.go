@@ -1,0 +1,105 @@
+package sim
+
+import "fmt"
+
+// errAborted unwinds a parked process goroutine when the engine stops.
+type errAborted struct{}
+
+// Process is a cooperative simulated thread of control. Exactly one
+// process (or event callback) executes at a time; a process gives up
+// control by sleeping or waiting on a Cond, and the engine resumes it
+// when its wake event fires.
+type Process struct {
+	eng  *Engine
+	name string
+
+	resume chan struct{}
+	parked bool // blocked in park(), eligible to be woken
+	waking bool // a wake event is already scheduled
+	done   bool
+}
+
+// Spawn creates a process running body and schedules its first
+// activation at the current time. The body runs on its own goroutine
+// but never concurrently with the engine or another process.
+func (e *Engine) Spawn(name string, body func(p *Process)) *Process {
+	p := &Process{eng: e, name: name, resume: make(chan struct{})}
+	e.nprocs++
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(errAborted); ok {
+					e.yield <- struct{}{} // acknowledge Stop
+					return
+				}
+				panic(r)
+			}
+		}()
+		p.block() // wait for first activation
+		body(p)
+		p.done = true
+		e.yield <- struct{}{}
+	}()
+	p.parked = true
+	p.scheduleWake(0)
+	return p
+}
+
+// Name returns the process name given at Spawn.
+func (p *Process) Name() string { return p.name }
+
+// Engine returns the engine the process runs on.
+func (p *Process) Engine() *Engine { return p.eng }
+
+// Now returns the current simulation time.
+func (p *Process) Now() Time { return p.eng.now }
+
+// block suspends the goroutine until resumed or the engine aborts.
+func (p *Process) block() {
+	select {
+	case <-p.resume:
+	case <-p.eng.abort:
+		panic(errAborted{})
+	}
+}
+
+// park yields control to the engine and suspends until woken.
+// The caller must have arranged a wake (scheduleWake or a Cond).
+func (p *Process) park() {
+	p.parked = true
+	p.eng.yield <- struct{}{}
+	p.block()
+	p.parked = false
+}
+
+// scheduleWake arranges for the process to resume after delay cycles.
+// It is idempotent per park: a second wake for the same park is a bug.
+func (p *Process) scheduleWake(delay Time) {
+	if p.waking {
+		panic(fmt.Sprintf("sim: double wake of process %q", p.name))
+	}
+	p.waking = true
+	p.eng.Schedule(delay, func() {
+		p.waking = false
+		p.eng.runProcess(p)
+	})
+}
+
+// runProcess transfers control to p until it parks or terminates.
+func (e *Engine) runProcess(p *Process) {
+	if p.done {
+		return
+	}
+	p.resume <- struct{}{}
+	<-e.yield
+	if p.done {
+		e.nprocs--
+	}
+}
+
+// Sleep suspends the process for d cycles. Sleep(0) yields to events
+// scheduled earlier at the current instant and resumes in order.
+func (p *Process) Sleep(d Time) {
+	p.scheduleWake(d)
+	p.park()
+}

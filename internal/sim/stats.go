@@ -1,0 +1,113 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Stats accumulates named counters and time-weighted utilisation
+// trackers for a simulation run. It is the one place experiment
+// harnesses read results from, so every substrate (bus, cache, NI)
+// records into a Stats it is given at construction.
+type Stats struct {
+	eng      *Engine
+	counters map[string]uint64
+	busy     map[string]*BusyTracker
+}
+
+// NewStats returns an empty Stats bound to the engine's clock.
+func NewStats(e *Engine) *Stats {
+	return &Stats{
+		eng:      e,
+		counters: make(map[string]uint64),
+		busy:     make(map[string]*BusyTracker),
+	}
+}
+
+// Add increments the named counter by n.
+func (s *Stats) Add(name string, n uint64) { s.counters[name] += n }
+
+// Inc increments the named counter by one.
+func (s *Stats) Inc(name string) { s.counters[name]++ }
+
+// Get returns the value of the named counter (zero if never touched).
+func (s *Stats) Get(name string) uint64 { return s.counters[name] }
+
+// Counters returns the counter names in sorted order.
+func (s *Stats) Counters() []string {
+	names := make([]string, 0, len(s.counters))
+	for n := range s.counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Busy returns (creating if needed) the named busy tracker.
+func (s *Stats) Busy(name string) *BusyTracker {
+	b, ok := s.busy[name]
+	if !ok {
+		b = &BusyTracker{eng: s.eng}
+		s.busy[name] = b
+	}
+	return b
+}
+
+// String renders the counters, one per line, for debugging.
+func (s *Stats) String() string {
+	var b strings.Builder
+	for _, n := range s.Counters() {
+		fmt.Fprintf(&b, "%-40s %12d\n", n, s.counters[n])
+	}
+	return b.String()
+}
+
+// BusyTracker integrates the time a resource spends busy, used for bus
+// occupancy measurements (paper §5.2).
+type BusyTracker struct {
+	eng       *Engine
+	busySince Time
+	isBusy    bool
+	total     Time
+}
+
+// SetBusy marks the resource busy from now.
+func (b *BusyTracker) SetBusy() {
+	if b.isBusy {
+		return
+	}
+	b.isBusy = true
+	b.busySince = b.eng.now
+}
+
+// SetIdle marks the resource idle from now, accumulating busy time.
+func (b *BusyTracker) SetIdle() {
+	if !b.isBusy {
+		return
+	}
+	b.isBusy = false
+	b.total += b.eng.now - b.busySince
+}
+
+// AddBusy accumulates d cycles of busy time directly. Substrates that
+// hold a resource for a known duration may account it in one call
+// instead of bracketing with SetBusy/SetIdle.
+func (b *BusyTracker) AddBusy(d Time) { b.total += d }
+
+// Total returns accumulated busy cycles (closing an open interval).
+func (b *BusyTracker) Total() Time {
+	if b.isBusy {
+		b.total += b.eng.now - b.busySince
+		b.busySince = b.eng.now
+	}
+	return b.total
+}
+
+// Utilisation returns busy time as a fraction of elapsed time.
+func (b *BusyTracker) Utilisation() float64 {
+	if b.eng.now == 0 {
+		return 0
+	}
+	return float64(b.Total()) / float64(b.eng.now)
+}
