@@ -15,6 +15,7 @@
 //	cnisim latency --ni=CNI512Q --bus=memory --size=64
 //	cnisim bandwidth --ni=CNI512Q --bus=memory --size=4096
 //	cnisim bench --app=spsolve --ni=CNI16Qm --bus=memory
+//	cnisim benchjson [--out=BENCH_sim.json]
 //	cnisim all
 package main
 
@@ -52,6 +53,7 @@ commands:
   latency           one round-trip measurement (--ni --bus --size)
   bandwidth         one bandwidth measurement (--ni --bus --size)
   bench             one macrobenchmark run (--app --ni --bus)
+  benchjson         write headline perf metrics to BENCH_sim.json (--out)
   all               every experiment in sequence`)
 }
 
@@ -86,6 +88,8 @@ func run(cmd string, args []string) error {
 		return runMicro(cmd, args)
 	case "bench":
 		return runBench(args)
+	case "benchjson":
+		return runBenchJSON(args)
 	case "all":
 		for _, n := range cni.ExperimentNames() {
 			if err := show(n, nil); err != nil {

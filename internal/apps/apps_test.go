@@ -35,6 +35,7 @@ func TestRandIntnBounds(t *testing.T) {
 }
 
 func TestRoundTripBasic(t *testing.T) {
+	t.Parallel()
 	rtt := RoundTrip(params.Config{NI: params.CNI512Q, Bus: params.MemoryBus}, 64, 3)
 	if rtt < 2*params.NetLatency || rtt > 5000 {
 		t.Fatalf("RTT = %d, implausible", rtt)
@@ -42,6 +43,7 @@ func TestRoundTripBasic(t *testing.T) {
 }
 
 func TestRoundTripMonotonicInSize(t *testing.T) {
+	t.Parallel()
 	cfg := params.Config{NI: params.CNI512Q, Bus: params.MemoryBus}
 	prev := RoundTrip(cfg, 8, 2)
 	for _, size := range []int{64, 256, 1024} {
@@ -54,6 +56,7 @@ func TestRoundTripMonotonicInSize(t *testing.T) {
 }
 
 func TestBandwidthOrdering(t *testing.T) {
+	t.Parallel()
 	// Fig 7a at a moderate size: every CNI beats NI2w.
 	size, msgs := 1024, 30
 	ni2w := Bandwidth(params.Config{NI: params.NI2w, Bus: params.MemoryBus}, size, msgs)
@@ -68,6 +71,7 @@ func TestBandwidthOrdering(t *testing.T) {
 }
 
 func TestLocalQueueBandwidthNearPaper(t *testing.T) {
+	t.Parallel()
 	bw := LocalQueueBandwidth()
 	t.Logf("local queue bound = %.0f MB/s (paper: 144)", bw)
 	if bw < 130 || bw > 170 {
@@ -101,6 +105,7 @@ func TestAllAppsListed(t *testing.T) {
 // every macrobenchmark must run to completion on 16 nodes with the
 // best memory-bus CNI and produce sane statistics.
 func TestAppsCompleteOn16Nodes(t *testing.T) {
+	t.Parallel()
 	for _, app := range All() {
 		res := app.Run(cfg16(params.CNI16Qm))
 		t.Logf("%s: %.0f us, %d net msgs", app.Name(), res.Micros(), res.Messages)
@@ -118,6 +123,7 @@ func TestAppsCompleteOn16Nodes(t *testing.T) {
 
 // TestAppsDeterministic re-runs one app and expects identical cycles.
 func TestAppsDeterministic(t *testing.T) {
+	t.Parallel()
 	a := NewEm3d().Run(cfg16(params.CNI512Q))
 	b := NewEm3d().Run(cfg16(params.CNI512Q))
 	if a.Cycles != b.Cycles {
@@ -128,6 +134,7 @@ func TestAppsDeterministic(t *testing.T) {
 // TestSpsolveCNIBeatsBaseline checks the Fig 8a headline for the most
 // communication-bound app.
 func TestSpsolveCNIBeatsBaseline(t *testing.T) {
+	t.Parallel()
 	base := NewSpsolve().Run(cfg16(params.NI2w))
 	best := NewSpsolve().Run(cfg16(params.CNI16Qm))
 	sp := best.SpeedupOver(base)

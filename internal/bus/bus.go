@@ -9,25 +9,25 @@ import (
 // admits a single outstanding transaction, plus the set of snooping
 // agents attached to it.
 type Bus struct {
-	eng   *sim.Engine
-	stats *sim.Stats
-	kind  params.BusKind
-	name  string
+	eng  *sim.Engine
+	kind params.BusKind
+	name string
 
 	mu     sim.FIFOMutex
 	agents []Agent
 	busy   *sim.BusyTracker
+	cycles *sim.Counter // interned "<name>.cycles"
 }
 
 // New creates a bus of the given kind. Stats keys are prefixed with
 // the bus name (e.g. "bus.mem0").
 func New(e *sim.Engine, st *sim.Stats, kind params.BusKind, name string) *Bus {
 	return &Bus{
-		eng:   e,
-		stats: st,
-		kind:  kind,
-		name:  name,
-		busy:  st.Busy(name),
+		eng:    e,
+		kind:   kind,
+		name:   name,
+		busy:   st.Busy(name),
+		cycles: st.Counter(name + ".cycles"),
 	}
 }
 
@@ -50,7 +50,7 @@ func (b *Bus) Release() { b.mu.Unlock() }
 // and advances the caller by d cycles.
 func (b *Bus) Occupy(p *sim.Process, d sim.Time) {
 	b.busy.AddBusy(d)
-	b.stats.Add(b.name+".cycles", uint64(d))
+	b.cycles.Add(uint64(d))
 	p.Sleep(d)
 }
 

@@ -42,8 +42,7 @@ type postedWrite struct {
 // preserves the same contention behaviour (both buses are held for
 // the duration of blocking crossing reads; see DESIGN.md).
 type Fabric struct {
-	eng   *sim.Engine
-	stats *sim.Stats
+	eng *sim.Engine
 
 	Mem *Bus
 	IO  *Bus // nil when the node has no I/O-bus devices
@@ -51,9 +50,15 @@ type Fabric struct {
 	regions []Region
 	loc     map[Agent]params.BusKind
 
+	// Interned counters for the transaction hot path: one per
+	// transaction kind, plus per-location uncached access counts.
+	txCount  [UP + 1]*sim.Counter
+	uncLoad  [params.IOBus + 1]*sim.Counter
+	uncStore [params.IOBus + 1]*sim.Counter
+
 	// I/O bridge posted-write queue (paper: "the bridge buffers writes
 	// and coherent invalidations, but blocks on reads").
-	bridgeQ     []postedWrite
+	bridgeQ     sim.FIFO[postedWrite]
 	bridgeCond  *sim.Cond // signalled when bridgeQ gains an entry
 	bridgeSpace *sim.Cond // signalled when bridgeQ frees an entry
 }
@@ -62,10 +67,16 @@ type Fabric struct {
 // its bridge drain process. name prefixes stats keys (e.g. "node3").
 func NewFabric(e *sim.Engine, st *sim.Stats, name string, withIO bool) *Fabric {
 	f := &Fabric{
-		eng:   e,
-		stats: st,
-		Mem:   New(e, st, params.MemoryBus, name+".membus"),
-		loc:   make(map[Agent]params.BusKind),
+		eng: e,
+		Mem: New(e, st, params.MemoryBus, name+".membus"),
+		loc: make(map[Agent]params.BusKind),
+	}
+	for k := CR; k <= UP; k++ {
+		f.txCount[k] = st.Counter("tx." + k.String())
+	}
+	for _, l := range []params.BusKind{params.CacheBus, params.MemoryBus, params.IOBus} {
+		f.uncLoad[l] = st.Counter("unc.load." + l.String())
+		f.uncStore[l] = st.Counter("unc.store." + l.String())
 	}
 	if withIO {
 		f.IO = New(e, st, params.IOBus, name+".iobus")
@@ -178,7 +189,7 @@ func (f *Fabric) Do(p *sim.Process, tx Tx) Result {
 		panic("bus: bad tx kind")
 	}
 
-	f.stats.Inc("tx." + tx.Kind.String())
+	f.txCount[tx.Kind].Inc()
 	dur := memCost
 	if ioCost > dur {
 		dur = ioCost
@@ -186,10 +197,10 @@ func (f *Fabric) Do(p *sim.Process, tx Tx) Result {
 	// Blocking crossing transactions hold both buses for the whole
 	// transfer (the bridge "blocks on reads").
 	f.Mem.busy.AddBusy(dur)
-	f.stats.Add(f.Mem.name+".cycles", uint64(dur))
+	f.Mem.cycles.Add(uint64(dur))
 	if crossing {
 		f.IO.busy.AddBusy(dur)
-		f.stats.Add(f.IO.name+".cycles", uint64(dur))
+		f.IO.cycles.Add(uint64(dur))
 	}
 	p.Sleep(dur)
 
@@ -205,7 +216,7 @@ func (f *Fabric) Do(p *sim.Process, tx Tx) Result {
 // register and returns the value the device reports at completion.
 func (f *Fabric) UncachedLoad(p *sim.Process, dev Device, reg uint64) uint64 {
 	loc := f.locOf(dev)
-	f.stats.Inc("unc.load." + loc.String())
+	f.uncLoad[loc].Inc()
 	switch loc {
 	case params.CacheBus:
 		p.Sleep(sim.Time(params.UncachedLoadCost(loc)))
@@ -221,9 +232,9 @@ func (f *Fabric) UncachedLoad(p *sim.Process, dev Device, reg uint64) uint64 {
 		f.Mem.Acquire(p)
 		f.IO.Acquire(p)
 		f.Mem.busy.AddBusy(cost)
-		f.stats.Add(f.Mem.name+".cycles", uint64(cost))
+		f.Mem.cycles.Add(uint64(cost))
 		f.IO.busy.AddBusy(cost)
-		f.stats.Add(f.IO.name+".cycles", uint64(cost))
+		f.IO.cycles.Add(uint64(cost))
 		p.Sleep(cost)
 		v := dev.RegRead(reg)
 		f.IO.Release()
@@ -241,7 +252,7 @@ func (f *Fabric) UncachedLoad(p *sim.Process, dev Device, reg uint64) uint64 {
 // accepts the write).
 func (f *Fabric) UncachedStore(p *sim.Process, dev Device, reg, val uint64) {
 	loc := f.locOf(dev)
-	f.stats.Inc("unc.store." + loc.String())
+	f.uncStore[loc].Inc()
 	switch loc {
 	case params.CacheBus:
 		p.Sleep(sim.Time(params.UncachedStoreCost(loc)))
@@ -252,12 +263,12 @@ func (f *Fabric) UncachedStore(p *sim.Process, dev Device, reg, val uint64) {
 		dev.RegWrite(reg, val)
 		f.Mem.Release()
 	case params.IOBus:
-		for len(f.bridgeQ) >= params.BridgeBufferDepth {
+		for f.bridgeQ.Len() >= params.BridgeBufferDepth {
 			f.bridgeSpace.Wait(p)
 		}
 		f.Mem.Acquire(p)
 		f.Mem.Occupy(p, sim.Time(params.UncachedStoreCost(params.MemoryBus)))
-		f.bridgeQ = append(f.bridgeQ, postedWrite{dev, reg, val})
+		f.bridgeQ.Push(postedWrite{dev, reg, val})
 		f.bridgeCond.Signal()
 		f.Mem.Release()
 	default:
@@ -269,15 +280,15 @@ func (f *Fabric) UncachedStore(p *sim.Process, dev Device, reg, val uint64) {
 // buffered uncached stores onto the I/O bus in order.
 func (f *Fabric) bridgeDrain(p *sim.Process) {
 	for {
-		for len(f.bridgeQ) == 0 {
+		for f.bridgeQ.Len() == 0 {
 			f.bridgeCond.Wait(p)
 		}
-		w := f.bridgeQ[0]
+		w := f.bridgeQ.Peek()
 		f.IO.Acquire(p)
 		f.IO.Occupy(p, sim.Time(params.UncachedStoreCost(params.IOBus)))
 		w.dev.RegWrite(w.reg, w.val)
 		f.IO.Release()
-		f.bridgeQ = f.bridgeQ[1:]
+		f.bridgeQ.Pop()
 		f.bridgeSpace.Signal()
 	}
 }

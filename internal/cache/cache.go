@@ -20,13 +20,19 @@ type line struct {
 // snoops every coherent bus transaction.
 type Cache struct {
 	eng    *sim.Engine
-	stats  *sim.Stats
 	fabric *bus.Fabric
 	name   string
 
 	nlines    uint64
 	lines     []line
 	blockMask uint64
+
+	// Interned counters: loads and stores are the innermost processor
+	// operations, so the per-access bookkeeping must not hash strings.
+	loadHit, loadMiss   *sim.Counter
+	storeHit, storeMiss *sim.Counter
+	writebacks          *sim.Counter
+	snarfs, updates     *sim.Counter
 
 	// Snarfing: load a block from an observed writeback when the
 	// direct-mapped frame holds the same tag in Invalid state (§5.1.2).
@@ -41,13 +47,19 @@ func New(e *sim.Engine, st *sim.Stats, f *bus.Fabric, name string, sizeBytes int
 		panic(fmt.Sprintf("cache: size %d is not a power-of-two number of blocks", sizeBytes))
 	}
 	c := &Cache{
-		eng:       e,
-		stats:     st,
-		fabric:    f,
-		name:      name,
-		nlines:    n,
-		lines:     make([]line, n),
-		blockMask: ^uint64(params.BlockBytes - 1),
+		eng:        e,
+		fabric:     f,
+		name:       name,
+		nlines:     n,
+		lines:      make([]line, n),
+		blockMask:  ^uint64(params.BlockBytes - 1),
+		loadHit:    st.Counter(name + ".load.hit"),
+		loadMiss:   st.Counter(name + ".load.miss"),
+		storeHit:   st.Counter(name + ".store.hit"),
+		storeMiss:  st.Counter(name + ".store.miss"),
+		writebacks: st.Counter(name + ".writeback"),
+		snarfs:     st.Counter(name + ".snarf"),
+		updates:    st.Counter(name + ".update"),
 	}
 	f.Attach(c, params.MemoryBus)
 	return c
@@ -80,11 +92,11 @@ func (c *Cache) Load(p *sim.Process, addr uint64) {
 	blk := addr & c.blockMask
 	l := &c.lines[c.index(blk)]
 	if l.tag == blk && l.state.Valid() {
-		c.stats.Inc(c.name + ".load.hit")
+		c.loadHit.Inc()
 		p.Sleep(params.HitCycles)
 		return
 	}
-	c.stats.Inc(c.name + ".load.miss")
+	c.loadMiss.Inc()
 	c.evict(p, l)
 	res := c.fabric.Do(p, bus.Tx{Kind: bus.CR, Addr: blk, Initiator: c})
 	l.tag = blk
@@ -104,17 +116,17 @@ func (c *Cache) Store(p *sim.Process, addr uint64) {
 	if l.tag == blk {
 		switch l.state {
 		case Modified:
-			c.stats.Inc(c.name + ".store.hit")
+			c.storeHit.Inc()
 			p.Sleep(params.HitCycles)
 			return
 		case Exclusive:
-			c.stats.Inc(c.name + ".store.hit")
+			c.storeHit.Inc()
 			l.state = Modified
 			p.Sleep(params.HitCycles)
 			return
 		}
 	}
-	c.stats.Inc(c.name + ".store.miss")
+	c.storeMiss.Inc()
 	if l.tag != blk {
 		c.evict(p, l)
 	}
@@ -129,7 +141,7 @@ func (c *Cache) evict(p *sim.Process, l *line) {
 		l.state = Invalid
 		return
 	}
-	c.stats.Inc(c.name + ".writeback")
+	c.writebacks.Inc()
 	addr := l.tag
 	l.state = Invalid
 	c.fabric.Do(p, bus.Tx{Kind: bus.WB, Addr: addr, Initiator: c})
@@ -155,13 +167,13 @@ func (c *Cache) SnoopTx(tx *bus.Tx, isHome bool) bus.Snoop {
 			// Data snarfing: frame already allocated to this tag, in
 			// Invalid state; capture the block from the writeback.
 			l.state = Shared
-			c.stats.Inc(c.name + ".snarf")
+			c.snarfs.Inc()
 			return bus.Snoop{HasCopy: true}
 		}
 		if tx.Kind == bus.UP && l.tag == blk {
 			// Update push: refill the invalidated frame in place.
 			l.state = Shared
-			c.stats.Inc(c.name + ".update")
+			c.updates.Inc()
 			return bus.Snoop{HasCopy: true}
 		}
 		return bus.Snoop{}

@@ -99,13 +99,12 @@ func Fig6(bus params.BusKind) *Table {
 		Title:  fmt.Sprintf("Figure 6 (%s bus): round-trip message latency, microseconds", bus),
 		Header: append([]string{"bytes"}, niNames(nis)...),
 	}
-	for _, size := range Fig6Sizes {
-		row := []string{fmt.Sprintf("%d", size)}
-		for _, ni := range nis {
-			rtt := apps.RoundTrip(fig6Config(ni, bus), size, rttRounds)
-			row = append(row, fmt.Sprintf("%.2f", machine.Microseconds(rtt)))
-		}
-		t.Rows = append(t.Rows, row)
+	cells := grid(len(Fig6Sizes), len(nis), func(r, c int) string {
+		rtt := apps.RoundTrip(fig6Config(nis[c], bus), Fig6Sizes[r], rttRounds)
+		return fmt.Sprintf("%.2f", machine.Microseconds(rtt))
+	})
+	for r, size := range Fig6Sizes {
+		t.Rows = append(t.Rows, append([]string{fmt.Sprintf("%d", size)}, cells[r]...))
 	}
 	return t
 }
@@ -117,13 +116,13 @@ func Fig6Alt() *Table {
 		Title:  "Figure 6c (alternate buses): round-trip latency, microseconds",
 		Header: []string{"bytes", "NI2w@cache", "CNI16Qm@memory", "CNI512Q@io"},
 	}
-	for _, size := range Fig6Sizes {
-		row := []string{fmt.Sprintf("%d", size)}
-		for _, cfg := range altConfigs() {
-			rtt := apps.RoundTrip(cfg, size, rttRounds)
-			row = append(row, fmt.Sprintf("%.2f", machine.Microseconds(rtt)))
-		}
-		t.Rows = append(t.Rows, row)
+	cfgs := altConfigs()
+	cells := grid(len(Fig6Sizes), len(cfgs), func(r, c int) string {
+		rtt := apps.RoundTrip(cfgs[c], Fig6Sizes[r], rttRounds)
+		return fmt.Sprintf("%.2f", machine.Microseconds(rtt))
+	})
+	for r, size := range Fig6Sizes {
+		t.Rows = append(t.Rows, append([]string{fmt.Sprintf("%d", size)}, cells[r]...))
 	}
 	return t
 }
@@ -160,26 +159,26 @@ func Fig7(bus params.BusKind) *Table {
 	bound := apps.LocalQueueBandwidth()
 	header := append([]string{"bytes"}, niNames(nis)...)
 	withSnarf := bus == params.MemoryBus
+	cfgs := make([]params.Config, 0, len(nis)+1)
+	for _, ni := range nis {
+		cfgs = append(cfgs, fig6Config(ni, bus))
+	}
 	if withSnarf {
 		header = append(header, "CNI16Qm+snarf")
+		cfg := fig6Config(params.CNI16Qm, bus)
+		cfg.Snarfing = true
+		cfgs = append(cfgs, cfg)
 	}
 	t := &Table{
 		Title:  fmt.Sprintf("Figure 7 (%s bus): bandwidth relative to local-queue bound (%.0f MB/s)", bus, bound),
 		Header: header,
 	}
-	for _, size := range Fig7Sizes {
-		row := []string{fmt.Sprintf("%d", size)}
-		for _, ni := range nis {
-			bw := apps.Bandwidth(fig6Config(ni, bus), size, bwMessages(size))
-			row = append(row, fmt.Sprintf("%.2f", bw/bound))
-		}
-		if withSnarf {
-			cfg := fig6Config(params.CNI16Qm, bus)
-			cfg.Snarfing = true
-			bw := apps.Bandwidth(cfg, size, bwMessages(size))
-			row = append(row, fmt.Sprintf("%.2f", bw/bound))
-		}
-		t.Rows = append(t.Rows, row)
+	cells := grid(len(Fig7Sizes), len(cfgs), func(r, c int) string {
+		bw := apps.Bandwidth(cfgs[c], Fig7Sizes[r], bwMessages(Fig7Sizes[r]))
+		return fmt.Sprintf("%.2f", bw/bound)
+	})
+	for r, size := range Fig7Sizes {
+		t.Rows = append(t.Rows, append([]string{fmt.Sprintf("%d", size)}, cells[r]...))
 	}
 	return t
 }
@@ -191,13 +190,13 @@ func Fig7Alt() *Table {
 		Title:  fmt.Sprintf("Figure 7c (alternate buses): bandwidth relative to local-queue bound (%.0f MB/s)", bound),
 		Header: []string{"bytes", "NI2w@cache", "CNI16Qm@memory", "CNI512Q@io"},
 	}
-	for _, size := range Fig7Sizes {
-		row := []string{fmt.Sprintf("%d", size)}
-		for _, cfg := range altConfigs() {
-			bw := apps.Bandwidth(cfg, size, bwMessages(size))
-			row = append(row, fmt.Sprintf("%.2f", bw/bound))
-		}
-		t.Rows = append(t.Rows, row)
+	cfgs := altConfigs()
+	cells := grid(len(Fig7Sizes), len(cfgs), func(r, c int) string {
+		bw := apps.Bandwidth(cfgs[c], Fig7Sizes[r], bwMessages(Fig7Sizes[r]))
+		return fmt.Sprintf("%.2f", bw/bound)
+	})
+	for r, size := range Fig7Sizes {
+		t.Rows = append(t.Rows, append([]string{fmt.Sprintf("%d", size)}, cells[r]...))
 	}
 	return t
 }
@@ -217,19 +216,15 @@ func Fig8(bus params.BusKind, appNames []string) *Table {
 	if bus == params.IOBus {
 		nis = Fig8NIsIO
 	}
+	cfgs := make([]params.Config, 0, len(nis))
+	for _, ni := range nis {
+		cfgs = append(cfgs, params.Config{Nodes: 16, NI: ni, Bus: bus})
+	}
 	t := &Table{
 		Title:  fmt.Sprintf("Figure 8 (%s bus): speedup over NI2w on the memory bus", bus),
 		Header: append([]string{"benchmark"}, niNames(nis)...),
 	}
-	for _, app := range selectApps(appNames) {
-		base := app.Run(params.Config{Nodes: 16, NI: params.NI2w, Bus: params.MemoryBus})
-		row := []string{app.Name()}
-		for _, ni := range nis {
-			res := app.Run(params.Config{Nodes: 16, NI: ni, Bus: bus})
-			row = append(row, fmt.Sprintf("%.2f", res.SpeedupOver(base)))
-		}
-		t.Rows = append(t.Rows, row)
-	}
+	t.Rows = speedupRows(selectApps(appNames), cfgs)
 	return t
 }
 
@@ -240,17 +235,42 @@ func Fig8Alt(appNames []string) *Table {
 		Title:  "Figure 8c (alternate buses): speedup over NI2w on the memory bus",
 		Header: []string{"benchmark", "NI2w@cache", "CNI16Qm@memory", "CNI512Q@io"},
 	}
-	for _, app := range selectApps(appNames) {
-		base := app.Run(params.Config{Nodes: 16, NI: params.NI2w, Bus: params.MemoryBus})
-		row := []string{app.Name()}
-		for _, cfg := range altConfigs() {
-			cfg.Nodes = 16
-			res := app.Run(cfg)
-			row = append(row, fmt.Sprintf("%.2f", res.SpeedupOver(base)))
-		}
-		t.Rows = append(t.Rows, row)
+	cfgs := altConfigs()
+	for i := range cfgs {
+		cfgs[i].Nodes = 16
 	}
+	t.Rows = speedupRows(selectApps(appNames), cfgs)
 	return t
+}
+
+// speedupRows runs every (benchmark, config) cell plus the per-app
+// NI2w@memory baseline concurrently, then renders speedup rows in the
+// apps' order. Each cell constructs a private App instance so no state
+// is shared between host workers.
+func speedupRows(sel []apps.App, cfgs []params.Config) [][]string {
+	base := params.Config{Nodes: 16, NI: params.NI2w, Bus: params.MemoryBus}
+	runs := append([]params.Config{base}, cfgs...)
+	results := grid(len(sel), len(runs), func(r, c int) apps.Result {
+		return freshApp(sel[r].Name()).Run(runs[c])
+	})
+	rows := make([][]string, 0, len(sel))
+	for r, app := range sel {
+		row := []string{app.Name()}
+		for c := 1; c < len(runs); c++ {
+			row = append(row, fmt.Sprintf("%.2f", results[r][c].SpeedupOver(results[r][0])))
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// freshApp returns a private instance of the named benchmark.
+func freshApp(name string) apps.App {
+	a, err := apps.ByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return a
 }
 
 func selectApps(names []string) []apps.App {
@@ -279,12 +299,19 @@ func Occupancy(appNames []string) *Table {
 	}
 	sums := make([]float64, len(Fig8NIsMemory))
 	sel := selectApps(appNames)
-	for _, app := range sel {
-		base := app.Run(params.Config{Nodes: 16, NI: params.NI2w, Bus: params.MemoryBus})
+	runs := make([]params.Config, 0, len(Fig8NIsMemory)+1)
+	runs = append(runs, params.Config{Nodes: 16, NI: params.NI2w, Bus: params.MemoryBus})
+	for _, ni := range Fig8NIsMemory {
+		runs = append(runs, params.Config{Nodes: 16, NI: ni, Bus: params.MemoryBus})
+	}
+	results := grid(len(sel), len(runs), func(r, c int) apps.Result {
+		return freshApp(sel[r].Name()).Run(runs[c])
+	})
+	for r, app := range sel {
+		base := results[r][0]
 		row := []string{app.Name()}
-		for i, ni := range Fig8NIsMemory {
-			res := app.Run(params.Config{Nodes: 16, NI: ni, Bus: params.MemoryBus})
-			rel := float64(res.MemBusOccupancy) / float64(base.MemBusOccupancy)
+		for i := range Fig8NIsMemory {
+			rel := float64(results[r][i+1].MemBusOccupancy) / float64(base.MemBusOccupancy)
 			sums[i] += rel
 			row = append(row, fmt.Sprintf("%.2f", rel))
 		}
@@ -319,7 +346,8 @@ func AblationCQ() *Table {
 		{"no sense reverse (explicit clear)", func(c *params.Config) { c.NoSenseReverse = true }},
 		{"update-protocol extension", func(c *params.Config) { c.UpdateProtocol = true }},
 	}
-	for _, v := range variants {
+	t.Rows = runCells(len(variants), func(i int) []string {
+		v := variants[i]
 		cfg := fig6Config(params.CNI512Q, params.MemoryBus)
 		// A small queue wraps within the measurement, reaching the
 		// steady state the optimisations are designed for.
@@ -327,13 +355,13 @@ func AblationCQ() *Table {
 		v.mod(&cfg)
 		rtt, busCyc := apps.RoundTripDetail(cfg, 64, 24)
 		bw := apps.Bandwidth(cfg, 1024, bwMessages(1024))
-		t.Rows = append(t.Rows, []string{
+		return []string{
 			v.name,
 			fmt.Sprintf("%.2f", machine.Microseconds(rtt)),
 			fmt.Sprintf("%d", busCyc),
 			fmt.Sprintf("%.0f", bw),
-		})
-	}
+		}
+	})
 	return t
 }
 
@@ -352,17 +380,19 @@ func DMAComparison() *Table {
 			"descriptors, delivers to DRAM, and notifies via a 1000-cycle interrupt.",
 		Header: []string{"bytes", "NI2w RTT", "CNI512Q RTT", "DMA RTT", "NI2w BW", "CNI512Q BW", "DMA BW"},
 	}
-	for _, size := range []int{16, 256, 1024, 4096} {
-		row := []string{fmt.Sprintf("%d", size)}
-		for _, ni := range []params.NIKind{params.NI2w, params.CNI512Q, params.DMA} {
-			rtt := apps.RoundTrip(fig6Config(ni, params.MemoryBus), size, rttRounds)
-			row = append(row, fmt.Sprintf("%.2f", machine.Microseconds(rtt)))
+	sizes := []int{16, 256, 1024, 4096}
+	nis := []params.NIKind{params.NI2w, params.CNI512Q, params.DMA}
+	cells := grid(len(sizes), 2*len(nis), func(r, c int) string {
+		size := sizes[r]
+		if c < len(nis) {
+			rtt := apps.RoundTrip(fig6Config(nis[c], params.MemoryBus), size, rttRounds)
+			return fmt.Sprintf("%.2f", machine.Microseconds(rtt))
 		}
-		for _, ni := range []params.NIKind{params.NI2w, params.CNI512Q, params.DMA} {
-			bw := apps.Bandwidth(fig6Config(ni, params.MemoryBus), size, bwMessages(size))
-			row = append(row, fmt.Sprintf("%.0f", bw))
-		}
-		t.Rows = append(t.Rows, row)
+		bw := apps.Bandwidth(fig6Config(nis[c-len(nis)], params.MemoryBus), size, bwMessages(size))
+		return fmt.Sprintf("%.0f", bw)
+	})
+	for r, size := range sizes {
+		t.Rows = append(t.Rows, append([]string{fmt.Sprintf("%d", size)}, cells[r]...))
 	}
 	return t
 }
@@ -374,16 +404,17 @@ func SweepQueueSize() *Table {
 		Title:  "Ablation: exposed queue size (device-homed CQ, memory bus)",
 		Header: []string{"queue blocks", "RTT 64B (us)", "BW 1KB (MB/s)"},
 	}
-	for _, blocks := range []int{8, 16, 64, 128, 512} {
+	sizes := []int{8, 16, 64, 128, 512}
+	t.Rows = runCells(len(sizes), func(i int) []string {
 		cfg := fig6Config(params.CNI512Q, params.MemoryBus)
-		cfg.QueueBlocksOverride = blocks
+		cfg.QueueBlocksOverride = sizes[i]
 		rtt := apps.RoundTrip(cfg, 64, rttRounds)
 		bw := apps.Bandwidth(cfg, 1024, bwMessages(1024))
-		t.Rows = append(t.Rows, []string{
-			fmt.Sprintf("%d", blocks),
+		return []string{
+			fmt.Sprintf("%d", sizes[i]),
 			fmt.Sprintf("%.2f", machine.Microseconds(rtt)),
 			fmt.Sprintf("%.0f", bw),
-		})
-	}
+		}
+	})
 	return t
 }

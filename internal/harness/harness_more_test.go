@@ -5,6 +5,7 @@ import (
 )
 
 func TestSweepQueueSizeMonotone(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("sweep in -short mode")
 	}
@@ -27,6 +28,7 @@ func TestSweepQueueSizeMonotone(t *testing.T) {
 }
 
 func TestDMAComparisonShape(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("dma sweep in -short mode")
 	}
@@ -61,6 +63,7 @@ func TestDMAComparisonShape(t *testing.T) {
 }
 
 func TestFig7AltShape(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("alt sweep in -short mode")
 	}

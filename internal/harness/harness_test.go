@@ -18,6 +18,7 @@ func cell(t *testing.T, tb *Table, row, col int) float64 {
 }
 
 func TestFig6MemoryShape(t *testing.T) {
+	t.Parallel()
 	tb := Fig6(params.MemoryBus)
 	t.Log("\n" + tb.String())
 	// Columns: bytes, NI2w, CNI4, CNI16Q, CNI512Q, CNI16Qm.
@@ -53,6 +54,7 @@ func TestFig6MemoryShape(t *testing.T) {
 }
 
 func TestFig6IOShape(t *testing.T) {
+	t.Parallel()
 	tb := Fig6(params.IOBus)
 	t.Log("\n" + tb.String())
 	for r := range tb.Rows {
@@ -66,6 +68,7 @@ func TestFig6IOShape(t *testing.T) {
 }
 
 func TestFig6AltShape(t *testing.T) {
+	t.Parallel()
 	tb := Fig6Alt()
 	t.Log("\n" + tb.String())
 	for r := range tb.Rows {
@@ -80,6 +83,7 @@ func TestFig6AltShape(t *testing.T) {
 }
 
 func TestFig7MemoryShape(t *testing.T) {
+	t.Parallel()
 	tb := Fig7(params.MemoryBus)
 	t.Log("\n" + tb.String())
 	// Relative bandwidth: CNIs beat NI2w from 64 bytes up (at 8 bytes
@@ -124,6 +128,7 @@ func TestFig7MemoryShape(t *testing.T) {
 }
 
 func TestFig7IOShape(t *testing.T) {
+	t.Parallel()
 	tb := Fig7(params.IOBus)
 	t.Log("\n" + tb.String())
 	for r := range tb.Rows {
@@ -164,6 +169,7 @@ func TestStaticTables(t *testing.T) {
 }
 
 func TestAblationCQ(t *testing.T) {
+	t.Parallel()
 	tb := AblationCQ()
 	t.Log("\n" + tb.String())
 	baseRTT := cell(t, tb, 0, 1)
@@ -196,6 +202,7 @@ func TestAblationCQ(t *testing.T) {
 }
 
 func TestFig8SpsolveOnly(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("macro sweep in -short mode")
 	}
@@ -223,6 +230,7 @@ func TestFig8SpsolveOnly(t *testing.T) {
 }
 
 func TestOccupancySpsolve(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("macro sweep in -short mode")
 	}

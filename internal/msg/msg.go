@@ -61,10 +61,9 @@ type partial struct {
 
 // Messenger is one node's messaging endpoint.
 type Messenger struct {
-	node  int
-	cpu   *proc.CPU
-	ni    nic.NI
-	stats *sim.Stats
+	node int
+	cpu  *proc.CPU
+	ni   nic.NI
 
 	handlers map[int]Handler
 	// swBuf holds messages drained from the NI by flow control,
@@ -77,19 +76,24 @@ type Messenger struct {
 	// Sent/Received count dispatched user messages (diagnostics).
 	Sent     uint64
 	Received uint64
+
+	sendBlocks *sim.Counter
+	swBuffered *sim.Counter
 }
 
 // New creates a messenger for a node. bufAddr is a node-private DRAM
 // address used as the user-level staging buffer.
 func New(node int, cpu *proc.CPU, ni nic.NI, st *sim.Stats, bufAddr uint64) *Messenger {
+	prefix := fmt.Sprintf("node%d.msg", node)
 	return &Messenger{
-		node:     node,
-		cpu:      cpu,
-		ni:       ni,
-		stats:    st,
-		handlers: make(map[int]Handler),
-		partial:  make(map[partialKey]*partial),
-		bufAddr:  bufAddr,
+		node:       node,
+		cpu:        cpu,
+		ni:         ni,
+		handlers:   make(map[int]Handler),
+		partial:    make(map[partialKey]*partial),
+		bufAddr:    bufAddr,
+		sendBlocks: st.Counter(prefix + ".send.block"),
+		swBuffered: st.Counter(prefix + ".swbuffered"),
 	}
 }
 
@@ -137,7 +141,7 @@ func (ms *Messenger) Send(p *sim.Process, dst, handler, size int, payload any) {
 		// Read the fragment out of the user buffer (cached, mostly hits).
 		ms.cpu.LoadRange(p, ms.bufAddr+uint64(f*params.MaxPayloadBytes), fsize)
 		for tries := 0; !ms.ni.TrySend(p, m); tries++ {
-			ms.stats.Inc(fmt.Sprintf("node%d.msg.send.block", ms.node))
+			ms.sendBlocks.Inc()
 			// §4.1 flow control: a blocked sender extracts incoming
 			// messages and buffers them in user space. "Blocked" means
 			// persistently refused, not one transient failure — so the
@@ -162,7 +166,7 @@ func (ms *Messenger) drainOne(p *sim.Process) bool {
 	// Copy into the user-space buffer.
 	ms.cpu.StoreRange(p, ms.bufAddr+uint64(len(ms.swBuf)%64)*params.NetMsgBytes, m.Size+params.HeaderBytes)
 	ms.swBuf = append(ms.swBuf, m)
-	ms.stats.Inc(fmt.Sprintf("node%d.msg.swbuffered", ms.node))
+	ms.swBuffered.Inc()
 	return true
 }
 

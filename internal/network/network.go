@@ -70,7 +70,6 @@ type Port interface {
 // Network connects the ports. Inject is called by NI devices.
 type Network struct {
 	eng     *sim.Engine
-	stats   *sim.Stats
 	latency sim.Time
 	window  int
 
@@ -82,23 +81,42 @@ type Network struct {
 	// arrivals[dst] holds messages the port refused, FIFO.
 	arrivals [][]*Msg
 	n        int
+
+	windowStalls *sim.Counter
+	msgs         *sim.Counter
+	bytes        *sim.Counter
+	backpressure *sim.Counter
+
+	// ackFns[slot] is the pre-built window-credit-return callback, so
+	// acking a message schedules an existing func value instead of
+	// allocating a fresh closure per message.
+	ackFns []func()
 }
 
 // New creates a network for n nodes.
 func New(e *sim.Engine, st *sim.Stats, n int) *Network {
 	nw := &Network{
-		eng:      e,
-		stats:    st,
-		latency:  params.NetLatency,
-		window:   params.NetWindow,
-		ports:    make([]Port, n),
-		inFlight: make([]int, n*n),
-		arrivals: make([][]*Msg, n),
-		n:        n,
+		eng:          e,
+		latency:      params.NetLatency,
+		window:       params.NetWindow,
+		ports:        make([]Port, n),
+		inFlight:     make([]int, n*n),
+		arrivals:     make([][]*Msg, n),
+		n:            n,
+		windowStalls: st.Counter("net.window.stall"),
+		msgs:         st.Counter("net.msg"),
+		bytes:        st.Counter("net.bytes"),
+		backpressure: st.Counter("net.backpressure"),
 	}
 	nw.windowFree = make([]*sim.Cond, n*n)
+	nw.ackFns = make([]func(), n*n)
 	for i := range nw.windowFree {
 		nw.windowFree[i] = sim.NewCond(e)
+		slot := i
+		nw.ackFns[i] = func() {
+			nw.inFlight[slot]--
+			nw.windowFree[slot].Signal()
+		}
 	}
 	return nw
 }
@@ -121,12 +139,12 @@ func (nw *Network) CanInject(src, dst int) bool {
 func (nw *Network) Inject(p *sim.Process, m *Msg) {
 	slot := m.Src*nw.n + m.Dst
 	for nw.inFlight[slot] >= nw.window {
-		nw.stats.Inc("net.window.stall")
+		nw.windowStalls.Inc()
 		nw.windowFree[slot].Wait(p)
 	}
 	nw.inFlight[slot]++
-	nw.stats.Inc("net.msg")
-	nw.stats.Add("net.bytes", uint64(m.Size+params.HeaderBytes))
+	nw.msgs.Inc()
+	nw.bytes.Add(uint64(m.Size + params.HeaderBytes))
 	nw.eng.Schedule(nw.latency, func() { nw.arrive(m) })
 }
 
@@ -142,7 +160,7 @@ func (nw *Network) drain(dst int) {
 	for len(nw.arrivals[dst]) > 0 {
 		m := nw.arrivals[dst][0]
 		if !port.NetDeliver(m) {
-			nw.stats.Inc("net.backpressure")
+			nw.backpressure.Inc()
 			return
 		}
 		nw.arrivals[dst] = nw.arrivals[dst][1:]
@@ -157,11 +175,7 @@ func (nw *Network) Unblock(dst int) { nw.drain(dst) }
 // ack returns the window credit to the sender after the return
 // latency.
 func (nw *Network) ack(m *Msg) {
-	slot := m.Src*nw.n + m.Dst
-	nw.eng.Schedule(nw.latency, func() {
-		nw.inFlight[slot]--
-		nw.windowFree[slot].Signal()
-	})
+	nw.eng.Schedule(nw.latency, nw.ackFns[m.Src*nw.n+m.Dst])
 }
 
 // Pending reports undelivered arrivals at dst (diagnostics).

@@ -28,6 +28,7 @@ import (
 type cni4 struct {
 	d    Deps
 	name string
+	ctr  niCounters
 
 	// Send side.
 	sendBusy   bool // CDR occupied by a message being composed/pulled
@@ -51,6 +52,7 @@ func newCNI4(d Deps) *cni4 {
 	n := &cni4{
 		d:          d,
 		name:       d.name(),
+		ctr:        d.counters(),
 		sendCap:    params.CNI4DeviceFIFOMsgs,
 		recvCap:    params.CNI4DeviceFIFOMsgs,
 		sendWork:   sim.NewCond(d.Eng),
@@ -144,7 +146,7 @@ func (n *cni4) RegWrite(reg, val uint64) {
 // TrySend implements NI: the CNI4 send protocol.
 func (n *cni4) TrySend(p *sim.Process, m *network.Msg) bool {
 	if n.d.CPU.UncachedLoad(p, n, RegSendStatus) == 0 {
-		n.d.Stats.Inc(n.name + ".send.full")
+		n.ctr.sendFull.Inc()
 		return false
 	}
 	n.sendBusy = true
@@ -159,7 +161,7 @@ func (n *cni4) TrySend(p *sim.Process, m *network.Msg) bool {
 	}
 	n.sendStaged = m
 	n.d.CPU.UncachedStore(p, n, RegSendCommit, uint64(m.Blocks))
-	n.d.Stats.Inc(n.name + ".send.msg")
+	n.ctr.sendMsg.Inc()
 	return true
 }
 
@@ -197,7 +199,7 @@ func (n *cni4) injector(p *sim.Process) {
 func (n *cni4) TryRecv(p *sim.Process) *network.Msg {
 	blocks := n.d.CPU.UncachedLoad(p, n, RegRecvStatus)
 	if blocks == 0 {
-		n.d.Stats.Inc(n.name + ".recv.poll.empty")
+		n.ctr.recvPollEmpty.Inc()
 		return nil
 	}
 	m := n.recvCur
@@ -215,7 +217,7 @@ func (n *cni4) TryRecv(p *sim.Process) *network.Msg {
 	// message, which the next poll observes.
 	n.d.CPU.UncachedStore(p, n, RegRecvPop, 1)
 	n.d.CPU.Membar(p)
-	n.d.Stats.Inc(n.name + ".recv.msg")
+	n.ctr.recvMsg.Inc()
 	return m
 }
 

@@ -33,6 +33,7 @@ type cniq struct {
 	d        Deps
 	kind     params.NIKind
 	name     string
+	ctr      niCounters
 	memHomed bool
 	entries  int // entries per direction
 
@@ -84,6 +85,7 @@ func newCNIQ(d Deps, memHomed bool) *cniq {
 		d:            d,
 		kind:         d.Cfg.NI,
 		name:         d.name(),
+		ctr:          d.counters(),
 		memHomed:     memHomed,
 		entries:      total / params.BlocksPerNetMsg,
 		sendPulled:   make(map[uint64]bool),
@@ -95,6 +97,12 @@ func newCNIQ(d Deps, memHomed bool) *cniq {
 		recvWork:     sim.NewCond(d.Eng),
 		recvHeadMove: sim.NewCond(d.Eng),
 	}
+	n.ctr.sendHintPull = d.Stats.Counter(n.name + ".send.hintpull")
+	n.ctr.sendPull = d.Stats.Counter(n.name + ".send.pull")
+	n.ctr.recvHeadRefresh = d.Stats.Counter(n.name + ".recv.headrefresh")
+	n.ctr.recvQFull = d.Stats.Counter(n.name + ".recv.qfull")
+	n.ctr.recvOverflowWB = d.Stats.Counter(n.name + ".recv.overflowWB")
+	n.ctr.recvUpdate = d.Stats.Counter(n.name + ".recv.update")
 	if memHomed {
 		n.dc = newDevCache(qblocks) // 16-block receive cache
 		n.dc.pin(n.sendHeadAddr())  // device-owned pointer blocks
@@ -244,7 +252,7 @@ func (n *cniq) TrySend(p *sim.Process, m *network.Msg) bool {
 		cpu.Load(p, n.sendHeadAddr())
 		n.sendShadow = n.sendHeadPos
 		if n.sendTailPos-n.sendShadow >= uint64(n.entries) {
-			n.d.Stats.Inc(n.name + ".send.full")
+			n.ctr.sendFull.Inc()
 			return false
 		}
 	}
@@ -262,7 +270,7 @@ func (n *cniq) TrySend(p *sim.Process, m *network.Msg) bool {
 	n.sendTailPos++
 	n.sendStageQ = append(n.sendStageQ, m)
 	cpu.UncachedStore(p, n, RegSendCommit, 1)
-	n.d.Stats.Inc(n.name + ".send.msg")
+	n.ctr.sendMsg.Inc()
 	return true
 }
 
@@ -277,7 +285,7 @@ func (n *cniq) sendEngine(p *sim.Process) {
 			if !n.sendPulled[addr] {
 				n.d.Fabric.Do(p, bus.Tx{Kind: bus.CR, Addr: addr, Initiator: n})
 				n.sendPulled[addr] = true
-				n.d.Stats.Inc(n.name + ".send.hintpull")
+				n.ctr.sendHintPull.Inc()
 			}
 			continue
 		}
@@ -290,7 +298,7 @@ func (n *cniq) sendEngine(p *sim.Process) {
 			addr := n.sendEntryAddr(n.sendHeadPos, b)
 			if !n.sendPulled[addr] {
 				n.d.Fabric.Do(p, bus.Tx{Kind: bus.CR, Addr: addr, Initiator: n})
-				n.d.Stats.Inc(n.name + ".send.pull")
+				n.ctr.sendPull.Inc()
 			}
 		}
 		// Entry consumed: forget pull state for its blocks.
@@ -360,14 +368,14 @@ func (n *cniq) recvEngine(p *sim.Process) {
 			// Shadow says full: refresh by reading the processor's head
 			// pointer block (lazy pointers, device side).
 			n.d.Fabric.Do(p, bus.Tx{Kind: bus.CR, Addr: n.recvHeadAddr(), Initiator: n})
-			n.d.Stats.Inc(n.name + ".recv.headrefresh")
+			n.ctr.recvHeadRefresh.Inc()
 			n.recvShadow = n.recvProcHead
 			if n.recvTailPos-n.recvShadow >= uint64(n.entries) {
 				// Truly full: sleep until the snooped coherence traffic
 				// says the processor advanced its head (the refresh
 				// above downgraded the processor's copy, so the next
 				// head increment is a bus-visible invalidation).
-				n.d.Stats.Inc(n.name + ".recv.qfull")
+				n.ctr.recvQFull.Inc()
 				n.recvHeadMove.Wait(p)
 			}
 		}
@@ -408,7 +416,7 @@ func (n *cniq) devWriteBlock(p *sim.Process, addr uint64) {
 		// safe and mirrors the device-homed accounting).
 		if victim, dirty := n.dc.ensure(addr); dirty && n.live[victim] {
 			n.d.Fabric.Do(p, bus.Tx{Kind: bus.WB, Addr: victim, Initiator: n})
-			n.d.Stats.Inc(n.name + ".recv.overflowWB")
+			n.ctr.recvOverflowWB.Inc()
 		}
 		if n.procCopies[addr] && !n.d.Cfg.UpdateProtocol {
 			n.d.Fabric.Do(p, bus.Tx{Kind: bus.CI, Addr: addr, Initiator: n})
@@ -439,7 +447,7 @@ func (n *cniq) pushUpdate(p *sim.Process, addr uint64) {
 			n.dc.setState(addr, cache.Owned)
 		}
 	}
-	n.d.Stats.Inc(n.name + ".recv.update")
+	n.ctr.recvUpdate.Inc()
 }
 
 // TryRecv implements NI: the CQ receive protocol (§2.2, §3): poll the
@@ -453,7 +461,7 @@ func (n *cniq) TryRecv(p *sim.Process) *network.Msg {
 		cpu.Load(p, n.recvEntryAddr(n.recvProcHead, 0))
 	}
 	if len(n.recvEntries) == 0 {
-		n.d.Stats.Inc(n.name + ".recv.poll.empty")
+		n.ctr.recvPollEmpty.Inc()
 		return nil
 	}
 	m := n.recvEntries[0]
@@ -486,6 +494,6 @@ func (n *cniq) TryRecv(p *sim.Process) *network.Msg {
 	// Advance the head pointer (a hit while the device isn't looking;
 	// one CRI per device refresh otherwise).
 	cpu.Store(p, n.recvHeadAddr())
-	n.d.Stats.Inc(n.name + ".recv.msg")
+	n.ctr.recvMsg.Inc()
 	return m
 }

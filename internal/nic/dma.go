@@ -25,6 +25,7 @@ import (
 type dmaNI struct {
 	d    Deps
 	name string
+	ctr  niCounters
 
 	sendQ      []*network.Msg // posted descriptors awaiting pull+inject
 	sendStageQ []*network.Msg // descriptor stores still in flight
@@ -55,6 +56,7 @@ func newDMA(d Deps) *dmaNI {
 	n := &dmaNI{
 		d:        d,
 		name:     d.name(),
+		ctr:      d.counters(),
 		sendWork: sim.NewCond(d.Eng),
 		recvWork: sim.NewCond(d.Eng),
 	}
@@ -125,7 +127,7 @@ func (n *dmaNI) TrySend(p *sim.Process, m *network.Msg) bool {
 		return true
 	}
 	if n.d.CPU.UncachedLoad(p, n, RegSendStatus) == 0 {
-		n.d.Stats.Inc(n.name + ".send.full")
+		n.ctr.sendFull.Inc()
 		return false
 	}
 	n.d.CPU.UncachedStore(p, n, RegSendData, 0) // source address
@@ -133,7 +135,7 @@ func (n *dmaNI) TrySend(p *sim.Process, m *network.Msg) bool {
 	n.d.CPU.UncachedStore(p, n, RegSendData, 2) // destination
 	n.sendStageQ = append(n.sendStageQ, m)
 	n.d.CPU.UncachedStore(p, n, RegSendCommit, 1) // go
-	n.d.Stats.Inc(n.name + ".send.msg")
+	n.ctr.sendMsg.Inc()
 	return true
 }
 
@@ -197,7 +199,7 @@ func (n *dmaNI) recvEngine(p *sim.Process) {
 // dispatch cost, then reads of the DMA'd data that miss to memory.
 func (n *dmaNI) TryRecv(p *sim.Process) *network.Msg {
 	if n.d.CPU.UncachedLoad(p, n, RegRecvStatus) == 0 {
-		n.d.Stats.Inc(n.name + ".recv.poll.empty")
+		n.ctr.recvPollEmpty.Inc()
 		return nil
 	}
 	m := n.deposited[0]
@@ -218,6 +220,6 @@ func (n *dmaNI) TryRecv(p *sim.Process) *network.Msg {
 	}
 	n.readSeq++
 	n.d.CPU.UncachedStore(p, n, RegRecvPop, 1)
-	n.d.Stats.Inc(n.name + ".recv.msg")
+	n.ctr.recvMsg.Inc()
 	return m
 }

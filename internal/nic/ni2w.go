@@ -18,6 +18,7 @@ import (
 type ni2w struct {
 	d    Deps
 	name string
+	ctr  niCounters
 
 	sendFIFO []*network.Msg // committed, awaiting injection
 	sendCap  int
@@ -33,6 +34,7 @@ func newNI2w(d Deps) *ni2w {
 	n := &ni2w{
 		d:          d,
 		name:       d.name(),
+		ctr:        d.counters(),
 		sendCap:    d.Cfg.NI2wFIFO(),
 		recvCap:    d.Cfg.NI2wFIFO(),
 		injectWork: sim.NewCond(d.Eng),
@@ -96,7 +98,7 @@ func (n *ni2w) RegWrite(reg, val uint64) {
 // if there is room, MsgWords uncached stores plus a commit store.
 func (n *ni2w) TrySend(p *sim.Process, m *network.Msg) bool {
 	if n.d.CPU.UncachedLoad(p, n, RegSendStatus) == 0 {
-		n.d.Stats.Inc(n.name + ".send.full")
+		n.ctr.sendFull.Inc()
 		return false
 	}
 	words := network.MsgWords(m.Size)
@@ -110,7 +112,7 @@ func (n *ni2w) TrySend(p *sim.Process, m *network.Msg) bool {
 	// posted stores. Our admission check above reserved the slot, so
 	// the read simply confirms.
 	n.d.CPU.UncachedLoad(p, n, RegSendStatus)
-	n.d.Stats.Inc(n.name + ".send.msg")
+	n.ctr.sendMsg.Inc()
 	return true
 }
 
@@ -120,7 +122,7 @@ func (n *ni2w) TrySend(p *sim.Process, m *network.Msg) bool {
 func (n *ni2w) TryRecv(p *sim.Process) *network.Msg {
 	words := n.d.CPU.UncachedLoad(p, n, RegRecvStatus)
 	if words == 0 {
-		n.d.Stats.Inc(n.name + ".recv.poll.empty")
+		n.ctr.recvPollEmpty.Inc()
 		return nil
 	}
 	for w := uint64(0); w < words; w++ {
@@ -128,7 +130,7 @@ func (n *ni2w) TryRecv(p *sim.Process) *network.Msg {
 	}
 	m := n.recvFIFO[0]
 	n.recvFIFO = n.recvFIFO[1:]
-	n.d.Stats.Inc(n.name + ".recv.msg")
+	n.ctr.recvMsg.Inc()
 	// Clear-on-read freed a FIFO slot: let blocked arrivals in.
 	n.d.Net.Unblock(n.d.NodeID)
 	return m

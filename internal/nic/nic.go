@@ -91,6 +91,29 @@ type Deps struct {
 // name returns the canonical stats prefix for node id's NI.
 func (d *Deps) name() string { return fmt.Sprintf("node%d.ni", d.NodeID) }
 
+// niCounters are the per-NI interned stats handles, resolved once at
+// construction so send/receive hot paths never concatenate or hash a
+// stats key. The first four are common to every design; the rest are
+// CQ-specific and interned by newCNIQ only.
+type niCounters struct {
+	sendFull, sendMsg          *sim.Counter
+	recvPollEmpty, recvMsg     *sim.Counter
+	sendHintPull, sendPull     *sim.Counter
+	recvHeadRefresh, recvQFull *sim.Counter
+	recvOverflowWB, recvUpdate *sim.Counter
+}
+
+// counters interns the counters every NI design records.
+func (d *Deps) counters() niCounters {
+	name := d.name()
+	return niCounters{
+		sendFull:      d.Stats.Counter(name + ".send.full"),
+		sendMsg:       d.Stats.Counter(name + ".send.msg"),
+		recvPollEmpty: d.Stats.Counter(name + ".recv.poll.empty"),
+		recvMsg:       d.Stats.Counter(name + ".recv.msg"),
+	}
+}
+
 // New constructs the NI selected by d.Cfg.
 func New(d Deps) NI {
 	switch d.Cfg.NI {

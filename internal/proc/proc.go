@@ -31,23 +31,28 @@ type CPU struct {
 	cache *cache.Cache
 	name  string
 
-	sbQ     []pendingStore
+	sbQ     sim.FIFO[pendingStore]
 	sbWork  *sim.Cond
 	sbSpace *sim.Cond
+
+	sbFull       *sim.Counter
+	membarStalls *sim.Counter
 }
 
 // New creates a CPU with its cache and starts the store-buffer drain
 // process.
 func New(e *sim.Engine, st *sim.Stats, f *bus.Fabric, c *cache.Cache, id int, name string) *CPU {
 	cpu := &CPU{
-		ID:      id,
-		eng:     e,
-		stats:   st,
-		fab:     f,
-		cache:   c,
-		name:    name,
-		sbWork:  sim.NewCond(e),
-		sbSpace: sim.NewCond(e),
+		ID:           id,
+		eng:          e,
+		stats:        st,
+		fab:          f,
+		cache:        c,
+		name:         name,
+		sbWork:       sim.NewCond(e),
+		sbSpace:      sim.NewCond(e),
+		sbFull:       st.Counter(name + ".sb.full"),
+		membarStalls: st.Counter(name + ".membar.stall"),
 	}
 	e.Spawn(name+".sbdrain", cpu.drainStoreBuffer)
 	return cpu
@@ -97,11 +102,11 @@ func (c *CPU) UncachedLoad(p *sim.Process, dev bus.Device, reg uint64) uint64 {
 // store reaches the device when the drain process issues it on the
 // bus (use Membar to wait for that).
 func (c *CPU) UncachedStore(p *sim.Process, dev bus.Device, reg, val uint64) {
-	for len(c.sbQ) >= params.StoreBufferDepth {
-		c.stats.Inc(c.name + ".sb.full")
+	for c.sbQ.Len() >= params.StoreBufferDepth {
+		c.sbFull.Inc()
 		c.sbSpace.Wait(p)
 	}
-	c.sbQ = append(c.sbQ, pendingStore{dev, reg, val})
+	c.sbQ.Push(pendingStore{dev, reg, val})
 	c.sbWork.Signal()
 	p.Sleep(params.HitCycles) // issue cost; completion is asynchronous
 }
@@ -109,8 +114,8 @@ func (c *CPU) UncachedStore(p *sim.Process, dev bus.Device, reg, val uint64) {
 // Membar stalls until the store buffer has fully drained, including
 // the store currently occupying the bus.
 func (c *CPU) Membar(p *sim.Process) {
-	for len(c.sbQ) > 0 {
-		c.stats.Inc(c.name + ".membar.stall")
+	for c.sbQ.Len() > 0 {
+		c.membarStalls.Inc()
 		c.sbSpace.Wait(p)
 	}
 }
@@ -118,12 +123,12 @@ func (c *CPU) Membar(p *sim.Process) {
 // drainStoreBuffer is the store buffer's bus engine.
 func (c *CPU) drainStoreBuffer(p *sim.Process) {
 	for {
-		for len(c.sbQ) == 0 {
+		for c.sbQ.Len() == 0 {
 			c.sbWork.Wait(p)
 		}
-		e := c.sbQ[0]
+		e := c.sbQ.Peek()
 		c.fab.UncachedStore(p, e.dev, e.reg, e.val)
-		c.sbQ = c.sbQ[1:]
+		c.sbQ.Pop()
 		c.sbSpace.Broadcast()
 	}
 }

@@ -1,0 +1,78 @@
+package sim
+
+import "testing"
+
+// Alloc-regression tests: the engine and stats hot paths must stay
+// allocation-free in steady state so the garbage collector never
+// shows up in experiment wall-clock. testing.AllocsPerRun fails these
+// loudly if boxing or closure allocation creeps back in.
+
+func TestScheduleDispatchZeroAlloc(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	fn := func() { n++ }
+	// Warm the heap's backing slice so growth is excluded.
+	for i := 0; i < 64; i++ {
+		e.Schedule(Time(i), fn)
+	}
+	e.RunAll()
+	allocs := testing.AllocsPerRun(1000, func() {
+		e.Schedule(1, fn)
+		e.RunAll()
+	})
+	if allocs != 0 {
+		t.Errorf("Schedule+dispatch allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+func TestProcessWakeZeroAlloc(t *testing.T) {
+	// A parked process's wake is a direct event (no closure); verify a
+	// full sleep/wake cycle allocates nothing once the process exists.
+	e := NewEngine()
+	release := NewCond(e)
+	e.Spawn("sleeper", func(p *Process) {
+		for {
+			release.Wait(p)
+			p.Sleep(1)
+		}
+	})
+	e.RunAll()
+	allocs := testing.AllocsPerRun(1000, func() {
+		release.Signal()
+		e.RunAll()
+	})
+	// Cond.Wait re-appends the process to the waiters slice; after
+	// warm-up that append reuses capacity, so the whole cycle must be
+	// allocation-free.
+	if allocs != 0 {
+		t.Errorf("process sleep/wake cycle allocates %.1f objects/op, want 0", allocs)
+	}
+	e.Stop()
+}
+
+func TestCounterAddZeroAlloc(t *testing.T) {
+	e := NewEngine()
+	s := NewStats(e)
+	c := s.Counter("x.cycles")
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Add(7)
+		c.Inc()
+	})
+	if allocs != 0 {
+		t.Errorf("Counter.Add allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+func TestBusyTrackerZeroAlloc(t *testing.T) {
+	e := NewEngine()
+	s := NewStats(e)
+	b := s.Busy("bus")
+	allocs := testing.AllocsPerRun(1000, func() {
+		b.SetBusy()
+		b.SetIdle()
+		b.AddBusy(3)
+	})
+	if allocs != 0 {
+		t.Errorf("BusyTracker ops allocate %.1f objects/op, want 0", allocs)
+	}
+}

@@ -7,7 +7,7 @@ package sim
 // resumption), but no mutex is required.
 type Cond struct {
 	eng     *Engine
-	waiters []*Process
+	waiters FIFO[*Process]
 }
 
 // NewCond returns a condition variable bound to the engine.
@@ -15,28 +15,24 @@ func NewCond(e *Engine) *Cond { return &Cond{eng: e} }
 
 // Wait parks the calling process until Signal or Broadcast wakes it.
 func (c *Cond) Wait(p *Process) {
-	c.waiters = append(c.waiters, p)
+	c.waiters.Push(p)
 	p.park()
 }
 
 // Signal wakes the longest-waiting process, if any.
 func (c *Cond) Signal() {
-	if len(c.waiters) == 0 {
+	if c.waiters.Len() == 0 {
 		return
 	}
-	w := c.waiters[0]
-	c.waiters = c.waiters[1:]
-	w.scheduleWake(0)
+	c.waiters.Pop().scheduleWake(0)
 }
 
 // Broadcast wakes every waiting process in FIFO order.
 func (c *Cond) Broadcast() {
-	ws := c.waiters
-	c.waiters = nil
-	for _, w := range ws {
-		w.scheduleWake(0)
+	for c.waiters.Len() > 0 {
+		c.waiters.Pop().scheduleWake(0)
 	}
 }
 
 // Waiting reports the number of parked waiters.
-func (c *Cond) Waiting() int { return len(c.waiters) }
+func (c *Cond) Waiting() int { return c.waiters.Len() }

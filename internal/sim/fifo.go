@@ -1,0 +1,46 @@
+package sim
+
+// FIFO is a slice-backed queue that reuses its backing array instead
+// of re-slicing it away (`q = q[1:]` leaks capacity and forces the
+// next append to reallocate, which put one allocation on every
+// park/wake cycle in the seed implementation). Push and Pop are
+// amortised zero-alloc once the queue has reached its steady-state
+// depth. The zero value is ready to use.
+type FIFO[T any] struct {
+	buf  []T
+	head int
+}
+
+// Push appends v to the tail, first compacting live elements to the
+// front when more than half the backing array is consumed prefix.
+// The copy moves at most as many elements as were popped since the
+// last compaction, so it is amortised O(1) per operation and keeps
+// memory O(live depth) even when the queue never fully drains.
+func (q *FIFO[T]) Push(v T) {
+	if q.head > 0 && q.head*2 >= len(q.buf) {
+		n := copy(q.buf, q.buf[q.head:])
+		clear(q.buf[n:]) // release references for the collector
+		q.buf = q.buf[:n]
+		q.head = 0
+	}
+	q.buf = append(q.buf, v)
+}
+
+// Pop removes and returns the head. The caller must check Len first.
+func (q *FIFO[T]) Pop() T {
+	var zero T
+	v := q.buf[q.head]
+	q.buf[q.head] = zero // release references for the collector
+	q.head++
+	if q.head == len(q.buf) {
+		q.buf = q.buf[:0]
+		q.head = 0
+	}
+	return v
+}
+
+// Peek returns the head without removing it.
+func (q *FIFO[T]) Peek() T { return q.buf[q.head] }
+
+// Len reports the number of queued elements.
+func (q *FIFO[T]) Len() int { return len(q.buf) - q.head }

@@ -1,0 +1,52 @@
+package sim
+
+import "testing"
+
+func TestFIFOOrderAndLen(t *testing.T) {
+	var q FIFO[int]
+	for i := 0; i < 10; i++ {
+		q.Push(i)
+	}
+	if q.Len() != 10 || q.Peek() != 0 {
+		t.Fatalf("Len=%d Peek=%d", q.Len(), q.Peek())
+	}
+	for i := 0; i < 10; i++ {
+		if v := q.Pop(); v != i {
+			t.Fatalf("Pop = %d, want %d", v, i)
+		}
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d after drain", q.Len())
+	}
+}
+
+func TestFIFOBoundedWhenNeverEmpty(t *testing.T) {
+	// A queue oscillating between depths 1 and 2 without ever draining
+	// must not grow its backing array: compaction reclaims the consumed
+	// prefix.
+	var q FIFO[int]
+	q.Push(0)
+	for i := 1; i <= 1_000_000; i++ {
+		q.Push(i)
+		if v := q.Pop(); v != i-1 {
+			t.Fatalf("Pop = %d, want %d", v, i-1)
+		}
+	}
+	if c := cap(q.buf); c > 16 {
+		t.Fatalf("backing array grew to cap %d on a depth-2 workload", c)
+	}
+}
+
+func TestFIFOZeroAllocSteadyState(t *testing.T) {
+	var q FIFO[int]
+	for i := 0; i < 8; i++ {
+		q.Push(i)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		q.Push(1)
+		q.Pop()
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state Push+Pop allocates %.1f objects/op, want 0", allocs)
+	}
+}

@@ -6,7 +6,7 @@ package sim
 // longest-waiting process, so arrival order equals service order.
 type FIFOMutex struct {
 	held    bool
-	waiters []*Process
+	waiters FIFO[*Process]
 }
 
 // Lock blocks the process until it owns the mutex.
@@ -15,7 +15,7 @@ func (m *FIFOMutex) Lock(p *Process) {
 		m.held = true
 		return
 	}
-	m.waiters = append(m.waiters, p)
+	m.waiters.Push(p)
 	p.park() // direct handoff: the lock is ours when we resume
 }
 
@@ -24,18 +24,16 @@ func (m *FIFOMutex) Unlock() {
 	if !m.held {
 		panic("sim: Unlock of unheld FIFOMutex")
 	}
-	if len(m.waiters) == 0 {
+	if m.waiters.Len() == 0 {
 		m.held = false
 		return
 	}
-	w := m.waiters[0]
-	m.waiters = m.waiters[1:]
-	// The mutex stays held on behalf of w.
-	w.scheduleWake(0)
+	// The mutex stays held on behalf of the next waiter.
+	m.waiters.Pop().scheduleWake(0)
 }
 
 // Held reports whether the mutex is currently owned.
 func (m *FIFOMutex) Held() bool { return m.held }
 
 // QueueLen reports the number of processes waiting for the mutex.
-func (m *FIFOMutex) QueueLen() int { return len(m.waiters) }
+func (m *FIFOMutex) QueueLen() int { return m.waiters.Len() }

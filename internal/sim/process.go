@@ -74,15 +74,14 @@ func (p *Process) park() {
 
 // scheduleWake arranges for the process to resume after delay cycles.
 // It is idempotent per park: a second wake for the same park is a bug.
+// The wake is a direct process event, not a closure — waking a process
+// allocates nothing and dispatches without an indirect func call.
 func (p *Process) scheduleWake(delay Time) {
 	if p.waking {
 		panic(fmt.Sprintf("sim: double wake of process %q", p.name))
 	}
 	p.waking = true
-	p.eng.Schedule(delay, func() {
-		p.waking = false
-		p.eng.runProcess(p)
-	})
+	p.eng.scheduleProc(delay, p)
 }
 
 // runProcess transfers control to p until it parks or terminates.

@@ -6,13 +6,35 @@ import (
 	"strings"
 )
 
+// Counter is one interned statistics cell. Components resolve the name
+// once at construction (Stats.Counter) and hold the pointer; Add/Inc on
+// the handle are a plain memory increment with no map hash or string
+// concatenation, so they are safe to call in the simulator's innermost
+// loops.
+type Counter struct {
+	v uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.v += n }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v++ }
+
+// Value returns the accumulated count.
+func (c *Counter) Value() uint64 { return c.v }
+
 // Stats accumulates named counters and time-weighted utilisation
 // trackers for a simulation run. It is the one place experiment
 // harnesses read results from, so every substrate (bus, cache, NI)
 // records into a Stats it is given at construction.
+//
+// Hot paths should intern a *Counter (or *BusyTracker) handle once and
+// increment through it; the string-keyed Add/Inc/Get remain for tests
+// and one-off accounting.
 type Stats struct {
 	eng      *Engine
-	counters map[string]uint64
+	counters map[string]*Counter
 	busy     map[string]*BusyTracker
 }
 
@@ -20,19 +42,35 @@ type Stats struct {
 func NewStats(e *Engine) *Stats {
 	return &Stats{
 		eng:      e,
-		counters: make(map[string]uint64),
+		counters: make(map[string]*Counter),
 		busy:     make(map[string]*BusyTracker),
 	}
 }
 
+// Counter returns (creating if needed) the interned counter handle for
+// name. Callers on hot paths resolve once and keep the pointer.
+func (s *Stats) Counter(name string) *Counter {
+	c, ok := s.counters[name]
+	if !ok {
+		c = &Counter{}
+		s.counters[name] = c
+	}
+	return c
+}
+
 // Add increments the named counter by n.
-func (s *Stats) Add(name string, n uint64) { s.counters[name] += n }
+func (s *Stats) Add(name string, n uint64) { s.Counter(name).Add(n) }
 
 // Inc increments the named counter by one.
-func (s *Stats) Inc(name string) { s.counters[name]++ }
+func (s *Stats) Inc(name string) { s.Counter(name).Inc() }
 
 // Get returns the value of the named counter (zero if never touched).
-func (s *Stats) Get(name string) uint64 { return s.counters[name] }
+func (s *Stats) Get(name string) uint64 {
+	if c, ok := s.counters[name]; ok {
+		return c.v
+	}
+	return 0
+}
 
 // Counters returns the counter names in sorted order.
 func (s *Stats) Counters() []string {
@@ -58,7 +96,7 @@ func (s *Stats) Busy(name string) *BusyTracker {
 func (s *Stats) String() string {
 	var b strings.Builder
 	for _, n := range s.Counters() {
-		fmt.Fprintf(&b, "%-40s %12d\n", n, s.counters[n])
+		fmt.Fprintf(&b, "%-40s %12d\n", n, s.counters[n].v)
 	}
 	return b.String()
 }
