@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	cni "repro"
@@ -30,6 +31,9 @@ type benchReport struct {
 	// Simulated headline results (determinism canaries).
 	RTT64BCNI512QCycles uint64  `json:"rtt_64B_cni512q_cycles"`
 	BW4KBCNI512QMBps    float64 `json:"bw_4096B_cni512q_mbps"`
+	// TorusProbeRTTCycles pins the congestion model: probe RTT under
+	// heavy hotspot load on the 16-node torus.
+	TorusProbeRTTCycles uint64 `json:"torus_hotspot_rtt_64B_cni512q_cycles"`
 
 	// Experiment-harness wall clock (host).
 	Fig6MemoryWallMs float64 `json:"fig6_memory_wall_ms"`
@@ -72,11 +76,60 @@ func timeTable(f func() *harness.Table) float64 {
 	return float64(time.Since(start).Microseconds()) / 1000
 }
 
+// canaries computes the simulated determinism canaries (no host-perf
+// fields), shared by the write and --check paths.
+func canaries(r *benchReport) {
+	cfg := cni.Config{Nodes: 2, NI: cni.CNI512Q, Bus: cni.MemoryBus}
+	r.RTT64BCNI512QCycles = uint64(cni.RoundTrip(cfg, 64, 4))
+	r.BW4KBCNI512QMBps = cni.Bandwidth(cfg, 4096, 200)
+	torus := cni.Config{Nodes: 16, NI: cni.CNI512Q, Bus: cni.MemoryBus, Topology: cni.TopoTorus}
+	r.TorusProbeRTTCycles = uint64(cni.ProbeRTT(torus, 64, 8, 1000))
+}
+
+// checkCanaries regenerates the simulated canaries and diffs them
+// against the committed snapshot, so timing-model drift fails CI
+// instead of being silently overwritten.
+func checkCanaries(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var committed benchReport
+	if err := json.Unmarshal(data, &committed); err != nil {
+		return fmt.Errorf("parse %s: %w", path, err)
+	}
+	var fresh benchReport
+	canaries(&fresh)
+	var drift []string
+	if fresh.RTT64BCNI512QCycles != committed.RTT64BCNI512QCycles {
+		drift = append(drift, fmt.Sprintf("rtt_64B_cni512q_cycles: committed %d, fresh %d",
+			committed.RTT64BCNI512QCycles, fresh.RTT64BCNI512QCycles))
+	}
+	if fresh.BW4KBCNI512QMBps != committed.BW4KBCNI512QMBps {
+		drift = append(drift, fmt.Sprintf("bw_4096B_cni512q_mbps: committed %v, fresh %v",
+			committed.BW4KBCNI512QMBps, fresh.BW4KBCNI512QMBps))
+	}
+	if fresh.TorusProbeRTTCycles != committed.TorusProbeRTTCycles {
+		drift = append(drift, fmt.Sprintf("torus_hotspot_rtt_64B_cni512q_cycles: committed %d, fresh %d",
+			committed.TorusProbeRTTCycles, fresh.TorusProbeRTTCycles))
+	}
+	if len(drift) > 0 {
+		return fmt.Errorf("simulated canaries drifted from %s (a timing-model change must update the snapshot deliberately):\n  %s",
+			path, strings.Join(drift, "\n  "))
+	}
+	fmt.Printf("canaries match %s\n", path)
+	return nil
+}
+
 func runBenchJSON(args []string) error {
 	fs := flag.NewFlagSet("benchjson", flag.ExitOnError)
 	out := fs.String("out", "BENCH_sim.json", "output path")
+	check := fs.Bool("check", false, "compare fresh canaries against the committed snapshot instead of writing")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *check {
+		return checkCanaries(*out)
 	}
 
 	var r benchReport
@@ -84,10 +137,7 @@ func runBenchJSON(args []string) error {
 	r.GoVersion = runtime.Version()
 	r.GOMAXPROCS = runtime.GOMAXPROCS(0)
 	r.EngineEventsPerSec, r.EngineAllocsPerEvent = engineThroughput()
-
-	cfg := cni.Config{Nodes: 2, NI: cni.CNI512Q, Bus: cni.MemoryBus}
-	r.RTT64BCNI512QCycles = uint64(cni.RoundTrip(cfg, 64, 4))
-	r.BW4KBCNI512QMBps = cni.Bandwidth(cfg, 4096, 200)
+	canaries(&r)
 
 	r.Fig6MemoryWallMs = timeTable(func() *harness.Table { return harness.Fig6(cni.MemoryBus) })
 	r.Fig7MemoryWallMs = timeTable(func() *harness.Table { return harness.Fig7(cni.MemoryBus) })

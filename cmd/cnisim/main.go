@@ -12,10 +12,14 @@
 //	cnisim occupancy [--apps=...]
 //	cnisim ablation
 //	cnisim sweep
-//	cnisim latency --ni=CNI512Q --bus=memory --size=64
-//	cnisim bandwidth --ni=CNI512Q --bus=memory --size=4096
-//	cnisim bench --app=spsolve --ni=CNI16Qm --bus=memory
-//	cnisim benchjson [--out=BENCH_sim.json]
+//	cnisim dma
+//	cnisim congestion
+//	cnisim latency --ni=CNI512Q --bus=memory --size=64 [--topology=torus]
+//	cnisim bandwidth --ni=CNI512Q --bus=memory --size=4096 [--topology=torus]
+//	cnisim incast --ni=CNI512Q --bus=memory --size=244 [--topology=torus]
+//	cnisim exchange --ni=CNI512Q --bus=memory --size=64 [--topology=torus]
+//	cnisim bench --app=spsolve --ni=CNI16Qm --bus=memory [--topology=torus]
+//	cnisim benchjson [--out=BENCH_sim.json] [--check]
 //	cnisim all
 package main
 
@@ -40,8 +44,9 @@ func main() {
 	}
 }
 
-func usage() {
-	fmt.Fprintln(os.Stderr, `usage: cnisim <command> [flags]
+// usageText is the command summary; main_test.go checks it stays in
+// sync with cni.ExperimentNames().
+const usageText = `usage: cnisim <command> [flags]
 
 commands:
   list              list experiments
@@ -50,11 +55,21 @@ commands:
   occupancy         §5.2 memory-bus occupancy (--apps=...)
   ablation          CQ optimisation ablation
   sweep             queue-size sweep
-  latency           one round-trip measurement (--ni --bus --size)
-  bandwidth         one bandwidth measurement (--ni --bus --size)
-  bench             one macrobenchmark run (--app --ni --bus)
-  benchjson         write headline perf metrics to BENCH_sim.json (--out)
-  all               every experiment in sequence`)
+  dma               CNI vs user-level-DMA comparison
+  congestion        probe RTT/bandwidth under load, flat vs torus
+  latency           one 2-node round-trip measurement (--ni --bus --size --topology)
+  bandwidth         one 2-node bandwidth measurement (--ni --bus --size --topology)
+  incast            hotspot incast: all nodes stream to node 0 (--ni --bus --nodes --size --count --topology)
+  exchange          personalised all-to-all (--ni --bus --nodes --size --rounds --topology)
+  bench             one macrobenchmark run (--app --ni --bus --nodes --topology)
+  benchjson         write headline perf metrics to BENCH_sim.json (--out; --check diffs canaries)
+  all               every experiment in sequence
+
+flags:
+  --topology=flat|torus   interconnect fabric (default flat, the paper's model)`
+
+func usage() {
+	fmt.Fprintln(os.Stderr, usageText)
 }
 
 func run(cmd string, args []string) error {
@@ -84,7 +99,9 @@ func run(cmd string, args []string) error {
 		return show("sweep", nil)
 	case "dma":
 		return show("dma", nil)
-	case "latency", "bandwidth":
+	case "congestion":
+		return show("congestion", nil)
+	case "latency", "bandwidth", "incast", "exchange":
 		return runMicro(cmd, args)
 	case "bench":
 		return runBench(args)
@@ -120,9 +137,14 @@ func splitApps(s string) []string {
 	return strings.Split(s, ",")
 }
 
-// parseConfig resolves --ni/--bus flags to a Config.
-func parseConfig(ni, bus string, nodes int) (cni.Config, error) {
+// parseConfig resolves --ni/--bus/--topology flags to a Config.
+func parseConfig(ni, bus, topology string, nodes int) (cni.Config, error) {
 	cfg := cni.Config{Nodes: nodes}
+	topo, err := cni.ParseTopology(topology)
+	if err != nil {
+		return cfg, err
+	}
+	cfg.Topology = topo
 	switch strings.ToLower(ni) {
 	case "ni2w":
 		cfg.NI = cni.NI2w
@@ -156,11 +178,27 @@ func runMicro(cmd string, args []string) error {
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	ni := fs.String("ni", "CNI512Q", "NI design")
 	bus := fs.String("bus", "memory", "bus attachment")
+	topology := fs.String("topology", "flat", "interconnect fabric (flat or torus)")
 	size := fs.Int("size", 64, "message payload bytes")
+	// latency/bandwidth are 2-node by definition; only the collectives
+	// take a node count, so a stray --nodes cannot silently mislead.
+	var nodes, count, rounds *int
+	switch cmd {
+	case "incast":
+		nodes = fs.Int("nodes", 16, "node count")
+		count = fs.Int("count", 24, "messages per sender")
+	case "exchange":
+		nodes = fs.Int("nodes", 16, "node count")
+		rounds = fs.Int("rounds", 3, "exchange rounds")
+	}
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	cfg, err := parseConfig(*ni, *bus, 2)
+	n := 2
+	if nodes != nil {
+		n = *nodes
+	}
+	cfg, err := parseConfig(*ni, *bus, *topology, n)
 	if err != nil {
 		return err
 	}
@@ -174,6 +212,14 @@ func runMicro(cmd string, args []string) error {
 		bound := cni.LocalQueueBandwidth()
 		fmt.Printf("%s %dB bandwidth: %.1f MB/s (%.2f of the %.0f MB/s local-queue bound)\n",
 			cfg.Name(), *size, bw, bw/bound, bound)
+	case "incast":
+		bw := cni.HotspotIncast(cfg, *size, *count)
+		fmt.Printf("%s %d-node incast, %dB x %d/sender: %.1f MB/s delivered at the sink\n",
+			cfg.Name(), cfg.Nodes, *size, *count, bw)
+	case "exchange":
+		cyc := cni.AllToAllExchange(cfg, *size, *rounds)
+		fmt.Printf("%s %d-node all-to-all, %dB: %d cycles/round (%.2f us)\n",
+			cfg.Name(), cfg.Nodes, *size, cyc, cni.Microseconds(cyc))
 	}
 	return nil
 }
@@ -183,11 +229,12 @@ func runBench(args []string) error {
 	app := fs.String("app", "spsolve", "benchmark name")
 	ni := fs.String("ni", "CNI16Qm", "NI design")
 	bus := fs.String("bus", "memory", "bus attachment")
+	topology := fs.String("topology", "flat", "interconnect fabric (flat or torus)")
 	nodes := fs.Int("nodes", 16, "node count")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	cfg, err := parseConfig(*ni, *bus, *nodes)
+	cfg, err := parseConfig(*ni, *bus, *topology, *nodes)
 	if err != nil {
 		return err
 	}

@@ -1,27 +1,37 @@
 package main
 
-import "testing"
+import (
+	"strings"
+	"testing"
+
+	cni "repro"
+)
 
 func TestParseConfig(t *testing.T) {
 	cases := []struct {
-		ni, bus string
-		ok      bool
+		ni, bus, topo string
+		ok            bool
 	}{
-		{"NI2w", "memory", true},
-		{"ni2w", "cache", true},
-		{"CNI16Qm", "memory", true},
-		{"CNI16Qm", "io", false}, // invalid per §2.3
-		{"cni512q", "io", true},
-		{"bogus", "memory", false},
-		{"CNI4", "warp", false},
+		{"NI2w", "memory", "flat", true},
+		{"ni2w", "cache", "flat", true},
+		{"CNI16Qm", "memory", "flat", true},
+		{"CNI16Qm", "io", "flat", false}, // invalid per §2.3
+		{"cni512q", "io", "flat", true},
+		{"bogus", "memory", "flat", false},
+		{"CNI4", "warp", "flat", false},
+		{"CNI512Q", "memory", "torus", true},
+		{"CNI512Q", "memory", "ring", false},
 	}
 	for _, c := range cases {
-		_, err := parseConfig(c.ni, c.bus, 2)
+		cfg, err := parseConfig(c.ni, c.bus, c.topo, 2)
 		if c.ok && err != nil {
-			t.Errorf("parseConfig(%q,%q): unexpected error %v", c.ni, c.bus, err)
+			t.Errorf("parseConfig(%q,%q,%q): unexpected error %v", c.ni, c.bus, c.topo, err)
 		}
 		if !c.ok && err == nil {
-			t.Errorf("parseConfig(%q,%q): expected error", c.ni, c.bus)
+			t.Errorf("parseConfig(%q,%q,%q): expected error", c.ni, c.bus, c.topo)
+		}
+		if err == nil && c.topo == "torus" && cfg.Topology != cni.TopoTorus {
+			t.Errorf("parseConfig(%q,%q,%q): topology not threaded through", c.ni, c.bus, c.topo)
 		}
 	}
 }
@@ -43,5 +53,56 @@ func TestRunMicroCommands(t *testing.T) {
 	}
 	if err := run("bandwidth", []string{"--ni=NI2w", "--bus=memory", "--size=64"}); err != nil {
 		t.Errorf("bandwidth: %v", err)
+	}
+	if err := run("latency", []string{"--ni=CNI512Q", "--bus=memory", "--size=32", "--topology=torus"}); err != nil {
+		t.Errorf("latency torus: %v", err)
+	}
+	if err := run("incast", []string{"--ni=CNI512Q", "--bus=memory", "--nodes=4", "--count=6", "--topology=torus"}); err != nil {
+		t.Errorf("incast: %v", err)
+	}
+	if err := run("exchange", []string{"--ni=CNI512Q", "--bus=memory", "--nodes=4", "--rounds=2"}); err != nil {
+		t.Errorf("exchange: %v", err)
+	}
+}
+
+// TestUsageListsEveryExperiment pins the usage text to the experiment
+// registry: every name cni.Experiment accepts (and every micro
+// command run dispatches) must be discoverable from `cnisim
+// <no-args>` output, so new experiments cannot ship CLI-invisible.
+func TestUsageListsEveryExperiment(t *testing.T) {
+	for _, name := range cni.ExperimentNames() {
+		// Family commands appear as their base name (fig6-memory ->
+		// fig6, table1 -> table1..table4 range line).
+		base, _, _ := strings.Cut(name, "-")
+		if strings.HasPrefix(base, "table") {
+			base = "table1..table4"
+		}
+		if !strings.Contains(usageText, base) {
+			t.Errorf("usage text does not mention experiment %q (looked for %q)", name, base)
+		}
+	}
+	for _, cmd := range []string{"latency", "bandwidth", "incast", "exchange", "bench", "benchjson", "all", "list", "--topology"} {
+		if !strings.Contains(usageText, cmd) {
+			t.Errorf("usage text does not mention %q", cmd)
+		}
+	}
+}
+
+// TestListMatchesExperimentNames checks each listed experiment
+// dispatches through run()'s switch (no registry entry the CLI cannot
+// reach). It relies on run("bogus") erroring above; here every listed
+// name must be a recognised command family.
+func TestListMatchesExperimentNames(t *testing.T) {
+	known := map[string]bool{
+		"table1": true, "table2": true, "table3": true, "table4": true,
+		"fig6": true, "fig7": true, "fig8": true,
+		"occupancy": true, "ablation": true, "sweep": true, "dma": true,
+		"congestion": true,
+	}
+	for _, name := range cni.ExperimentNames() {
+		base, _, _ := strings.Cut(name, "-")
+		if !known[base] {
+			t.Errorf("experiment %q has no CLI command family", name)
+		}
 	}
 }

@@ -66,6 +66,22 @@ const (
 	IOBus     = params.IOBus
 )
 
+// Topology identifies the interconnect fabric model.
+type Topology = params.Topology
+
+// Interconnect fabrics (Config.Topology).
+const (
+	// TopoFlat is the paper's contention-free constant-latency
+	// network (the default).
+	TopoFlat = params.TopoFlat
+	// TopoTorus is the 2D torus with dimension-order routing and
+	// per-link contention.
+	TopoTorus = params.TopoTorus
+)
+
+// ParseTopology resolves a CLI topology name ("flat" or "torus").
+func ParseTopology(s string) (Topology, error) { return params.ParseTopology(s) }
+
 // AllNIs lists the five designs in the paper's order.
 var AllNIs = params.AllNIs
 
@@ -92,6 +108,26 @@ func Bandwidth(cfg Config, size, messages int) float64 {
 // the cache-to-cache bandwidth of a local memory queue between two
 // processors on one coherent memory bus (paper: 144 MB/s).
 func LocalQueueBandwidth() float64 { return apps.LocalQueueBandwidth() }
+
+// HotspotIncast streams perSender size-byte messages from every other
+// node into node 0 and returns the delivered MB/s at the sink.
+func HotspotIncast(cfg Config, size, perSender int) float64 {
+	return apps.HotspotIncast(cfg, size, perSender)
+}
+
+// AllToAllExchange runs a personalised all-to-all and returns average
+// cycles per round in steady state.
+func AllToAllExchange(cfg Config, size, rounds int) Cycles {
+	return apps.AllToAllExchange(cfg, size, rounds)
+}
+
+// ProbeRTT measures round-trip latency between node 0 and its torus
+// antipode under hotspot background load with the given send gap
+// (negative disables the background) — the congestion experiment's
+// probe, exposed for one-off measurements.
+func ProbeRTT(cfg Config, size, rounds, gap int) Cycles {
+	return apps.ProbeRTT(cfg, size, rounds, gap, apps.BgHotspot)
+}
 
 // Benchmarks lists the five macrobenchmark names (paper Table 3).
 func Benchmarks() []string {
@@ -126,7 +162,7 @@ func ExperimentNames() []string {
 		"fig6-memory", "fig6-io", "fig6-alt",
 		"fig7-memory", "fig7-io", "fig7-alt",
 		"fig8-memory", "fig8-io", "fig8-alt",
-		"occupancy", "ablation", "sweep", "dma",
+		"occupancy", "ablation", "sweep", "dma", "congestion",
 	}
 }
 
@@ -169,6 +205,8 @@ func Experiment(name string, appNames []string) (*Table, error) {
 		return harness.SweepQueueSize(), nil
 	case "dma":
 		return harness.DMAComparison(), nil
+	case "congestion":
+		return harness.Congestion(), nil
 	}
 	return nil, fmt.Errorf("cni: unknown experiment %q (want one of %v)", name, ExperimentNames())
 }

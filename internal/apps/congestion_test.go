@@ -1,0 +1,141 @@
+package apps
+
+import (
+	"testing"
+
+	"repro/internal/params"
+)
+
+func congCfg(topo params.Topology) params.Config {
+	return params.Config{Nodes: 16, NI: params.CNI512Q, Bus: params.MemoryBus, Topology: topo}
+}
+
+// TestProbeGeometry pins the probe endpoints the congestion
+// experiment depends on.
+func TestProbeGeometry(t *testing.T) {
+	if got := ProbeDst(16); got != 10 {
+		t.Errorf("ProbeDst(16) = %d, want 10 (the 4x4 antipode of node 0)", got)
+	}
+	if got := HotspotNode(16); got != 6 {
+		t.Errorf("HotspotNode(16) = %d, want 6 (one hop before the antipode)", got)
+	}
+	if got := antipode(3, 16); got != 9 {
+		t.Errorf("antipode(3) = %d, want 9", got)
+	}
+	for id := 0; id < 16; id++ {
+		if antipode(antipode(id, 16), 16) != id {
+			t.Fatalf("antipode not involutive at %d on even dims", id)
+		}
+	}
+}
+
+// TestFlatProbeRTTLoadIndependent is half of the congestion
+// acceptance contract: on the paper's contention-free flat network
+// the probe endpoints share nothing with the background, so the
+// measured RTT must be bit-identical at every offered load.
+func TestFlatProbeRTTLoadIndependent(t *testing.T) {
+	t.Parallel()
+	base := ProbeRTT(congCfg(params.TopoFlat), 64, 4, -1, BgHotspot)
+	for _, gap := range []int{4000, 1000} {
+		for _, pat := range []BgPattern{BgHotspot, BgAllToAll} {
+			if got := ProbeRTT(congCfg(params.TopoFlat), 64, 4, gap, pat); got != base {
+				t.Errorf("flat probe RTT under %v load (gap %d) = %d, want the unloaded %d exactly",
+					pat, gap, got, base)
+			}
+		}
+	}
+}
+
+// TestTorusProbeRTTGrowsWithLoad is the other half: on the torus the
+// hotspot background shares links with the probe, so RTT must grow
+// monotonically as the offered load rises.
+func TestTorusProbeRTTGrowsWithLoad(t *testing.T) {
+	t.Parallel()
+	none := ProbeRTT(congCfg(params.TopoTorus), 64, 8, -1, BgHotspot)
+	light := ProbeRTT(congCfg(params.TopoTorus), 64, 8, 4000, BgHotspot)
+	heavy := ProbeRTT(congCfg(params.TopoTorus), 64, 8, 1000, BgHotspot)
+	if !(none < light && light < heavy) {
+		t.Errorf("torus hotspot probe RTT not monotone in load: none=%d light=%d heavy=%d", none, light, heavy)
+	}
+	a2a := ProbeRTT(congCfg(params.TopoTorus), 64, 8, 1000, BgAllToAll)
+	if a2a <= none {
+		t.Errorf("torus all-to-all load did not delay the probe: loaded=%d unloaded=%d", a2a, none)
+	}
+}
+
+// TestTorusProbeBandwidthDegrades checks the victim stream loses
+// bandwidth to background traffic on the torus but not on flat.
+func TestTorusProbeBandwidthDegrades(t *testing.T) {
+	t.Parallel()
+	flatIdle := ProbeBandwidth(congCfg(params.TopoFlat), 244, 120, -1, BgHotspot)
+	flatLoad := ProbeBandwidth(congCfg(params.TopoFlat), 244, 120, 1000, BgHotspot)
+	if flatIdle != flatLoad {
+		t.Errorf("flat victim bandwidth changed under load: %.2f vs %.2f", flatIdle, flatLoad)
+	}
+	torusIdle := ProbeBandwidth(congCfg(params.TopoTorus), 244, 120, -1, BgHotspot)
+	torusLoad := ProbeBandwidth(congCfg(params.TopoTorus), 244, 120, 1000, BgHotspot)
+	if torusLoad >= torusIdle {
+		t.Errorf("torus victim bandwidth did not degrade: idle %.2f, loaded %.2f", torusIdle, torusLoad)
+	}
+}
+
+// TestHotspotIncast checks the incast microbenchmark completes and
+// reports a positive, deterministic sink bandwidth on both fabrics.
+func TestHotspotIncast(t *testing.T) {
+	t.Parallel()
+	for _, topo := range []params.Topology{params.TopoFlat, params.TopoTorus} {
+		a := HotspotIncast(congCfg(topo), 244, 12)
+		b := HotspotIncast(congCfg(topo), 244, 12)
+		if a <= 0 {
+			t.Errorf("%v incast bandwidth = %.2f, want > 0", topo, a)
+		}
+		if a != b {
+			t.Errorf("%v incast not deterministic: %.4f vs %.4f", topo, a, b)
+		}
+	}
+}
+
+// TestAllToAllExchange checks the exchange microbenchmark on both
+// fabrics, including the small-machine case the CLI exposes.
+func TestAllToAllExchange(t *testing.T) {
+	t.Parallel()
+	for _, topo := range []params.Topology{params.TopoFlat, params.TopoTorus} {
+		cfg := congCfg(topo)
+		cfg.Nodes = 4
+		cyc := AllToAllExchange(cfg, 64, 2)
+		if cyc <= 0 {
+			t.Errorf("%v all-to-all cycles/round = %d, want > 0", topo, cyc)
+		}
+	}
+}
+
+// TestTorusMacrobenchmark runs one macrobenchmark end to end on the
+// torus: the whole stack (msg layer, NIs, flow control) must work
+// unchanged behind the Interconnect interface.
+func TestTorusMacrobenchmark(t *testing.T) {
+	t.Parallel()
+	cfg := params.Config{Nodes: 16, NI: params.CNI512Q, Bus: params.MemoryBus, Topology: params.TopoTorus}
+	flat := cfg
+	flat.Topology = params.TopoFlat
+	a, err := ByName("spsolve")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := a.Run(cfg)
+	rf := freshRun(t, "spsolve", flat)
+	if rt.Cycles <= rf.Cycles {
+		t.Errorf("torus spsolve (%d cycles) should be slower than flat (%d): store-and-forward hops cost more than the flat 100-cycle transit", rt.Cycles, rf.Cycles)
+	}
+	if rt.Messages != rf.Messages {
+		t.Errorf("topology changed the communication pattern: %d vs %d messages", rt.Messages, rf.Messages)
+	}
+}
+
+func freshRun(t *testing.T, name string, cfg params.Config) Result {
+	t.Helper()
+	a, err := ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a.Run(cfg)
+}

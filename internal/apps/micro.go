@@ -14,6 +14,9 @@ const (
 	hPing = HApp + iota
 	hPong
 	hStream
+	hIncast
+	hExchange
+	hBgSink
 )
 
 // RoundTrip measures process-to-process round-trip latency (§5.1.1,
@@ -115,6 +118,288 @@ func Bandwidth(cfg params.Config, size, messages int) float64 {
 	bytes := float64(size) * float64(messages)
 	seconds := float64(end-start) / (params.CPUMHz * 1e6)
 	return bytes / seconds / 1e6
+}
+
+// ProbeDst returns the congestion probe's far endpoint: the node at
+// the torus antipode of node 0 (maximum dimension-order hop count).
+// The same node id is used under the flat topology so the two fabrics
+// measure the identical traffic pattern.
+func ProbeDst(nodes int) int { return antipode(0, nodes) }
+
+// BgPattern selects the background traffic shape for ProbeRTT.
+type BgPattern int
+
+const (
+	// BgHotspot aims every background sender at one hotspot node that
+	// sits on the probe's dimension-order path (one hop before the
+	// probe destination, in its column), so the converging incast
+	// flows share links with the probe.
+	BgHotspot BgPattern = iota
+	// BgAllToAll pairs every background node with its torus antipode
+	// (an involutive permutation), the classic uniform worst case for
+	// dimension-order routing: every flow crosses the fabric's full
+	// diameter, loading links in every row and column including the
+	// probe's.
+	BgAllToAll
+)
+
+func (b BgPattern) String() string {
+	if b == BgAllToAll {
+		return "all-to-all"
+	}
+	return "hotspot"
+}
+
+// antipode returns the node diagonally opposite id on the torus.
+func antipode(id, nodes int) int {
+	w, h := params.TorusDims(nodes)
+	x, y := id%w, id/w
+	return ((y+h/2)%h)*w + (x+w/2)%w
+}
+
+// HotspotNode returns BgHotspot's common destination: one hop before
+// the probe destination in its torus column.
+func HotspotNode(nodes int) int {
+	w, _ := params.TorusDims(nodes)
+	return ProbeDst(nodes) - w
+}
+
+// spawnBackground starts the congestion background traffic on every
+// node except the probe endpoints (and, for BgHotspot, the hotspot
+// sink): each sender streams full-payload messages at the given gap
+// until *done flips. Call it after the probe processes are spawned so
+// the simulated schedule keeps the probe's wake ordering. A negative
+// gap spawns nothing.
+func spawnBackground(m *machine.Machine, gap int, pattern BgPattern, done *bool) {
+	nodes := m.Cfg.Nodes
+	probeDst := ProbeDst(nodes)
+	hot := HotspotNode(nodes)
+	bgAlive := 0
+	if gap >= 0 {
+		for id := 1; id < nodes; id++ {
+			if id == probeDst || (pattern == BgHotspot && id == hot) {
+				continue
+			}
+			target := hot
+			if pattern == BgAllToAll {
+				target = antipode(id, nodes)
+				if target == 0 || target == probeDst || target == id {
+					continue // the probe pair maps to itself; skip partners of excluded nodes
+				}
+			}
+			m.Nodes[id].Msgr.Register(hBgSink, func(ctx *msg.Context) {})
+			bgAlive++
+			m.Spawn(id, func(p *sim.Process, n *machine.Node) {
+				for !*done {
+					n.Msgr.Send(p, target, hBgSink, params.MaxPayloadBytes, nil)
+					n.Msgr.DrainAvailable(p)
+					n.CPU.Compute(p, sim.Time(gap))
+				}
+				// Keep draining after the measurement so no partner is
+				// left blocked on a full window mid-send; the last
+				// sender to finish releases everyone.
+				bgAlive--
+				n.Msgr.PollUntil(p, func() bool { return bgAlive == 0 })
+			})
+		}
+	}
+	// The hotspot sink keeps draining until every background sender
+	// has finished its final (possibly flow-controlled) send.
+	if pattern == BgHotspot {
+		m.Nodes[hot].Msgr.Register(hBgSink, func(ctx *msg.Context) {})
+		m.Spawn(hot, func(p *sim.Process, n *machine.Node) {
+			n.Msgr.PollUntil(p, func() bool { return *done && bgAlive == 0 })
+		})
+	}
+}
+
+// ProbeRTT measures round-trip latency between node 0 and the far
+// node ProbeDst(n) while the remaining nodes generate background load
+// in the given pattern. gap is the compute delay in cycles between
+// background sends — smaller gap, higher offered load; a negative gap
+// disables the background entirely.
+//
+// The probe endpoints take no part in the background traffic, so
+// under the flat (contention-free) interconnect the probe RTT is
+// load-independent by construction; under the torus the background
+// flows share links with the probe path and queue ahead of it, so the
+// RTT grows with offered load.
+func ProbeRTT(cfg params.Config, size, rounds, gap int, pattern BgPattern) sim.Time {
+	if cfg.Nodes < 4 {
+		panic("apps: ProbeRTT needs at least 4 nodes")
+	}
+	m := machine.New(cfg)
+	defer m.Stop()
+	probeDst := ProbeDst(cfg.Nodes)
+
+	pongs := 0
+	m.Nodes[probeDst].Msgr.Register(hPing, func(ctx *msg.Context) {
+		ctx.M.Send(ctx.P, ctx.Src, hPong, ctx.Size, nil)
+	})
+	m.Nodes[0].Msgr.Register(hPong, func(ctx *msg.Context) { pongs++ })
+
+	done := false
+	const warmup = 2
+	var start, end sim.Time
+	m.Spawn(0, func(p *sim.Process, n *machine.Node) {
+		for r := 0; r < warmup+rounds; r++ {
+			if r == warmup {
+				start = p.Now()
+			}
+			n.Msgr.Send(p, probeDst, hPing, size, nil)
+			want := r + 1
+			n.Msgr.PollUntil(p, func() bool { return pongs == want })
+		}
+		end = p.Now()
+		done = true
+	})
+	m.Spawn(probeDst, func(p *sim.Process, n *machine.Node) {
+		n.Msgr.PollUntil(p, func() bool { return done })
+	})
+	spawnBackground(m, gap, pattern, &done)
+	m.Run(sim.Forever)
+	if StatsDump != nil {
+		StatsDump(cfg, m.Stats)
+	}
+	return (end - start) / sim.Time(rounds)
+}
+
+// ProbeBandwidth measures the delivered bandwidth of a victim stream
+// (node 0 to ProbeDst, messages of the given payload size) while the
+// remaining nodes generate background load in the given pattern at
+// the given gap, as in ProbeRTT. Returns MB/s of user payload in
+// steady state. Under the flat interconnect the background cannot
+// touch the stream; under the torus shared links throttle it.
+func ProbeBandwidth(cfg params.Config, size, messages, gap int, pattern BgPattern) float64 {
+	if cfg.Nodes < 4 {
+		panic("apps: ProbeBandwidth needs at least 4 nodes")
+	}
+	m := machine.New(cfg)
+	defer m.Stop()
+	probeDst := ProbeDst(cfg.Nodes)
+
+	warmup := messages / 5
+	if warmup < 1 {
+		warmup = 1 // start must fire even for tiny runs
+	}
+	received := 0
+	done := false
+	var start, end sim.Time
+	m.Nodes[probeDst].Msgr.Register(hStream, func(ctx *msg.Context) {
+		ctx.CPU.LoadRange(ctx.P, machine.UserBase+0x4000, ctx.Size)
+		ctx.CPU.Compute(ctx.P, 40)
+		received++
+		if received == warmup {
+			start = ctx.P.Now()
+		}
+		if received == warmup+messages {
+			end = ctx.P.Now()
+		}
+	})
+	m.Spawn(0, func(p *sim.Process, n *machine.Node) {
+		for i := 0; i < warmup+messages; i++ {
+			n.Msgr.Send(p, probeDst, hStream, size, nil)
+		}
+	})
+	m.Spawn(probeDst, func(p *sim.Process, n *machine.Node) {
+		n.Msgr.PollUntil(p, func() bool { return received == warmup+messages })
+		done = true
+	})
+	spawnBackground(m, gap, pattern, &done)
+	m.Run(sim.Forever)
+	if end <= start {
+		return 0
+	}
+	bytes := float64(size) * float64(messages)
+	seconds := float64(end-start) / (params.CPUMHz * 1e6)
+	return bytes / seconds / 1e6
+}
+
+// HotspotIncast streams perSender size-byte messages from every other
+// node into node 0 simultaneously and returns the aggregate delivered
+// payload bandwidth in MB/s at the sink, measured after a one-fifth
+// warmup. On the torus the flows converge on the few links into node
+// 0's router; on the flat network only the sink's NI and bus limit
+// delivery.
+func HotspotIncast(cfg params.Config, size, perSender int) float64 {
+	m := machine.New(cfg)
+	defer m.Stop()
+	total := (cfg.Nodes - 1) * perSender
+	warm := total / 5
+	if warm < 1 {
+		warm = 1 // start must fire even for tiny runs
+	}
+	received := 0
+	var start, end sim.Time
+	m.Nodes[0].Msgr.Register(hIncast, func(ctx *msg.Context) {
+		ctx.CPU.LoadRange(ctx.P, machine.UserBase+0x4000, ctx.Size)
+		received++
+		if received == warm {
+			start = ctx.P.Now()
+		}
+		if received == total {
+			end = ctx.P.Now()
+		}
+	})
+	for id := 1; id < cfg.Nodes; id++ {
+		m.Spawn(id, func(p *sim.Process, n *machine.Node) {
+			for i := 0; i < perSender; i++ {
+				n.Msgr.Send(p, 0, hIncast, size, nil)
+			}
+		})
+	}
+	m.Spawn(0, func(p *sim.Process, n *machine.Node) {
+		n.Msgr.PollUntil(p, func() bool { return received == total })
+	})
+	m.Run(sim.Forever)
+	if end <= start {
+		return 0
+	}
+	bytes := float64(size) * float64(total-warm)
+	seconds := float64(end-start) / (params.CPUMHz * 1e6)
+	return bytes / seconds / 1e6
+}
+
+// AllToAllExchange measures a personalised all-to-all: each round,
+// every node sends one size-byte message to every other node (rotated
+// start offsets) and polls until it holds the full round from every
+// peer. Returns average cycles per round in steady state as seen by
+// node 0. The torus serialises the exchange over its links; the flat
+// network admits every flow at once.
+func AllToAllExchange(cfg params.Config, size, rounds int) sim.Time {
+	m := machine.New(cfg)
+	defer m.Stop()
+	n := cfg.Nodes
+	recv := make([]int, n)
+	for id := 0; id < n; id++ {
+		at := id
+		m.Nodes[id].Msgr.Register(hExchange, func(ctx *msg.Context) { recv[at]++ })
+	}
+	const warmup = 1
+	var start, end sim.Time
+	for id := 0; id < n; id++ {
+		self := id
+		m.Spawn(id, func(p *sim.Process, node *machine.Node) {
+			for r := 0; r < warmup+rounds; r++ {
+				if self == 0 && r == warmup {
+					start = p.Now()
+				}
+				for off := 1; off < n; off++ {
+					node.Msgr.Send(p, (self+off)%n, hExchange, size, nil)
+				}
+				want := (r + 1) * (n - 1)
+				node.Msgr.PollUntil(p, func() bool { return recv[self] >= want })
+			}
+			if self == 0 {
+				end = p.Now()
+			}
+		})
+	}
+	m.Run(sim.Forever)
+	if StatsDump != nil {
+		StatsDump(cfg, m.Stats)
+	}
+	return (end - start) / sim.Time(rounds)
 }
 
 // LocalQueueBandwidth computes the paper's Fig 7 normalisation bound:

@@ -1,0 +1,84 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/apps"
+	"repro/internal/machine"
+	"repro/internal/params"
+)
+
+// Congestion load levels: the compute gap (cycles) between background
+// sends. A negative gap disables the background.
+var congestionLoads = []struct {
+	name string
+	gap  int
+}{
+	{"none", -1},
+	{"light", 4000},
+	{"heavy", 1000},
+}
+
+// congestion probe parameters.
+const (
+	congestionNodes    = 16
+	congestionRTTBytes = 64
+	congestionRTTRound = 8
+	congestionBWBytes  = 244
+	congestionBWMsgs   = 120
+)
+
+// Congestion is the experiment the flat model structurally cannot
+// express (DESIGN.md §7): per-NI probe round-trip latency and victim
+// stream bandwidth between node 0 and its torus antipode while the
+// other nodes generate background load — converging on a hotspot on
+// the probe's path, or an antipodal all-to-all permutation — on the
+// paper's contention-free flat network versus the 2D torus. Under
+// flat, the probe columns are load-independent by construction; under
+// the torus, shared links queue the probe behind the background.
+func Congestion() *Table {
+	nis := Fig8NIsMemory
+	t := &Table{
+		Title: fmt.Sprintf("Congestion: probe RTT and victim bandwidth under background load (%d nodes, memory bus)", congestionNodes),
+		Note: "Probe: node 0 <-> its torus antipode. hot = background incast into a node on the\n" +
+			"probe's path; a2a = antipodal-permutation background. Load is the gap between\n" +
+			"background sends (none / 4000 / 1000 cycles). The flat network is the paper's\n" +
+			"contention-free model, so its probe columns cannot depend on load.",
+		Header: []string{"NI", "load",
+			"hot RTT flat (us)", "hot RTT torus (us)", "a2a RTT torus (us)",
+			"hot BW flat (MB/s)", "hot BW torus (MB/s)"},
+	}
+	cfg := func(ni params.NIKind, topo params.Topology) params.Config {
+		return params.Config{Nodes: congestionNodes, NI: ni, Bus: params.MemoryBus, Topology: topo}
+	}
+	rows := len(nis) * len(congestionLoads)
+	cells := grid(rows, 5, func(r, c int) string {
+		ni := nis[r/len(congestionLoads)]
+		gap := congestionLoads[r%len(congestionLoads)].gap
+		switch c {
+		case 0:
+			rtt := apps.ProbeRTT(cfg(ni, params.TopoFlat), congestionRTTBytes, congestionRTTRound, gap, apps.BgHotspot)
+			return fmt.Sprintf("%.2f", machine.Microseconds(rtt))
+		case 1:
+			rtt := apps.ProbeRTT(cfg(ni, params.TopoTorus), congestionRTTBytes, congestionRTTRound, gap, apps.BgHotspot)
+			return fmt.Sprintf("%.2f", machine.Microseconds(rtt))
+		case 2:
+			rtt := apps.ProbeRTT(cfg(ni, params.TopoTorus), congestionRTTBytes, congestionRTTRound, gap, apps.BgAllToAll)
+			return fmt.Sprintf("%.2f", machine.Microseconds(rtt))
+		case 3:
+			bw := apps.ProbeBandwidth(cfg(ni, params.TopoFlat), congestionBWBytes, congestionBWMsgs, gap, apps.BgHotspot)
+			return fmt.Sprintf("%.1f", bw)
+		default:
+			bw := apps.ProbeBandwidth(cfg(ni, params.TopoTorus), congestionBWBytes, congestionBWMsgs, gap, apps.BgHotspot)
+			return fmt.Sprintf("%.1f", bw)
+		}
+	})
+	for r := 0; r < rows; r++ {
+		name := ""
+		if r%len(congestionLoads) == 0 {
+			name = nis[r/len(congestionLoads)].String()
+		}
+		t.Rows = append(t.Rows, append([]string{name, congestionLoads[r%len(congestionLoads)].name}, cells[r]...))
+	}
+	return t
+}

@@ -1,0 +1,44 @@
+package harness
+
+import (
+	"strconv"
+	"testing"
+)
+
+// TestCongestionTable checks the congestion experiment's shape and
+// its headline contract: the flat probe column is identical at every
+// load level for every NI, and each NI's torus hotspot column is
+// strictly larger at heavy load than unloaded.
+func TestCongestionTable(t *testing.T) {
+	tb := Congestion()
+	wantRows := len(Fig8NIsMemory) * len(congestionLoads)
+	if len(tb.Rows) != wantRows {
+		t.Fatalf("rows = %d, want %d", len(tb.Rows), wantRows)
+	}
+	if len(tb.Header) != 7 {
+		t.Fatalf("header width = %d, want 7", len(tb.Header))
+	}
+	cell := func(r, c int) float64 {
+		v, err := strconv.ParseFloat(tb.Cell(r, c), 64)
+		if err != nil {
+			t.Fatalf("cell (%d,%d) %q not numeric: %v", r, c, tb.Cell(r, c), err)
+		}
+		return v
+	}
+	per := len(congestionLoads)
+	for ni := 0; ni < len(Fig8NIsMemory); ni++ {
+		base := ni * per
+		// Flat probe RTT (col 2): load-independent, to the rendered digit.
+		for l := 1; l < per; l++ {
+			if tb.Cell(base+l, 2) != tb.Cell(base, 2) {
+				t.Errorf("%s: flat probe RTT varies with load: %s vs %s",
+					Fig8NIsMemory[ni], tb.Cell(base+l, 2), tb.Cell(base, 2))
+			}
+		}
+		// Torus hotspot RTT (col 3): heavy load strictly above unloaded.
+		if !(cell(base+per-1, 3) > cell(base, 3)) {
+			t.Errorf("%s: torus hotspot RTT did not grow under load: %s -> %s",
+				Fig8NIsMemory[ni], tb.Cell(base, 3), tb.Cell(base+per-1, 3))
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package harness
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/params"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden table files from the current model")
+
+// goldenTables lists the fast experiments (static tables plus the
+// 2-node microbenchmark figures) whose full rendered text is pinned.
+// The determinism contract (DESIGN.md §6) needs more than the two
+// scalar canaries: a silent drift in any one cell must fail CI, not
+// hide inside an unchanged table shape.
+func goldenTables() map[string]func() *Table {
+	return map[string]func() *Table{
+		"table1":      Table1,
+		"table2":      Table2,
+		"table3":      Table3,
+		"table4":      Table4,
+		"fig6-memory": func() *Table { return Fig6(params.MemoryBus) },
+		"fig6-io":     func() *Table { return Fig6(params.IOBus) },
+		"fig6-alt":    Fig6Alt,
+		"fig7-memory": func() *Table { return Fig7(params.MemoryBus) },
+		"fig7-io":     func() *Table { return Fig7(params.IOBus) },
+		"fig7-alt":    Fig7Alt,
+	}
+}
+
+func TestGoldenTables(t *testing.T) {
+	for name, fn := range goldenTables() {
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			got := fn().String()
+			path := filepath.Join("testdata", "golden", name+".txt")
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (regenerate with `go test ./internal/harness -run TestGoldenTables -update`): %v", err)
+			}
+			if got == string(want) {
+				return
+			}
+			gotLines := strings.Split(got, "\n")
+			wantLines := strings.Split(string(want), "\n")
+			for i := 0; i < len(gotLines) || i < len(wantLines); i++ {
+				var g, w string
+				if i < len(gotLines) {
+					g = gotLines[i]
+				}
+				if i < len(wantLines) {
+					w = wantLines[i]
+				}
+				if g != w {
+					t.Fatalf("%s drifted from golden at line %d:\n  got:  %q\n  want: %q\n(a deliberate model change must regenerate with -update)", name, i+1, g, w)
+				}
+			}
+		})
+	}
+}

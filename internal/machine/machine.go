@@ -2,8 +2,9 @@
 // (§4.1): N nodes, each with a 200 MHz dual-issue processor, a 256 KB
 // direct-mapped cache on a 100 MHz coherent memory bus, optionally a
 // 50 MHz coherent I/O bus behind a bridge, and one of the five network
-// interfaces; nodes are connected by the fixed-latency sliding-window
-// network.
+// interfaces; nodes are connected by a pluggable sliding-window
+// interconnect — the paper's fixed-latency flat network by default,
+// or a contention-modelled 2D torus (params.Config.Topology).
 package machine
 
 import (
@@ -60,8 +61,16 @@ type Machine struct {
 	Cfg   params.Config
 	Eng   *sim.Engine
 	Stats *sim.Stats
-	Net   *network.Network
+	Net   network.Interconnect
 	Nodes []*Node
+}
+
+// newInterconnect builds the fabric cfg.Topology selects.
+func newInterconnect(cfg params.Config, eng *sim.Engine, st *sim.Stats) network.Interconnect {
+	if cfg.Topology == params.TopoTorus {
+		return network.NewTorus(eng, st, cfg.Nodes)
+	}
+	return network.New(eng, st, cfg.Nodes)
 }
 
 // New builds a machine for cfg. It panics on invalid configurations
@@ -76,7 +85,7 @@ func New(cfg params.Config) *Machine {
 		Cfg:   cfg,
 		Eng:   eng,
 		Stats: st,
-		Net:   network.New(eng, st, cfg.Nodes),
+		Net:   newInterconnect(cfg, eng, st),
 	}
 	for id := 0; id < cfg.Nodes; id++ {
 		m.Nodes = append(m.Nodes, m.buildNode(id))

@@ -1,10 +1,20 @@
-// Package network models the machine's interconnect (paper §4.1):
-// topology is ignored, network messages are a fixed 256 bytes, every
-// message takes 100 processor cycles from injection of the last byte
-// at the source to arrival of the first byte at the destination, and
-// hardware flow control is a sliding window — a node may have up to
-// four messages in flight per destination before the sender blocks
-// waiting for acknowledgements.
+// Package network models the machine's interconnect fabric. The
+// fabric is pluggable behind the Interconnect interface; two
+// implementations exist:
+//
+//   - Flat (New) — the paper's §4.1 idealised network: topology is
+//     ignored, every message takes a constant 100 processor cycles
+//     from injection of the last byte at the source to arrival of the
+//     first byte at the destination. The default.
+//   - Torus (NewTorus) — a 2D torus with dimension-order routing,
+//     per-link FIFO arbitration, single-message-at-a-time link
+//     occupancy, and a per-hop latency, for experiments where the
+//     interconnect itself is the bottleneck.
+//
+// Both share the paper's framing: network messages are a fixed 256
+// bytes, and hardware flow control is an end-to-end sliding window —
+// a node may have up to four messages in flight per destination
+// before the sender blocks waiting for acknowledgements.
 package network
 
 import (
@@ -67,20 +77,51 @@ type Port interface {
 	NetDeliver(m *Msg) bool
 }
 
-// Network connects the ports. Inject is called by NI devices.
-type Network struct {
-	eng     *sim.Engine
-	latency sim.Time
-	window  int
+// Interconnect is the fabric connecting the ports. NI devices inject;
+// the fabric times the traversal, delivers through Port.NetDeliver,
+// and returns window credits to senders.
+type Interconnect interface {
+	// Register binds node id's port. Must be called before traffic
+	// flows.
+	Register(id int, p Port)
+	// Nodes returns the node count.
+	Nodes() int
+	// CanInject reports whether src may inject to dst without
+	// blocking on the sliding window.
+	CanInject(src, dst int) bool
+	// Inject sends m, blocking the calling (device) process while the
+	// sliding window to m.Dst is full. Delivery is attempted on
+	// arrival and retried when the destination port unblocks.
+	Inject(p *sim.Process, m *Msg)
+	// Unblock tells the fabric that dst's NI freed buffer space; any
+	// waiting arrivals are re-offered.
+	Unblock(dst int)
+	// Pending reports undelivered arrivals at dst (diagnostics).
+	Pending(dst int) int
+	// InFlight reports unacked messages from src to dst (diagnostics).
+	InFlight(src, dst int) int
+}
 
-	ports []Port
-	// inFlight[src*n+dst] counts unacked messages.
-	inFlight []int
+var (
+	_ Interconnect = (*Flat)(nil)
+	_ Interconnect = (*Torus)(nil)
+)
+
+// endpoints is the edge every fabric shares: per-(src,dst)
+// sliding-window admission, per-destination arrival queues with
+// backpressure, and window-credit acknowledgements. Implementations
+// embed it and supply the transit model between admit and arrive.
+type endpoints struct {
+	eng    *sim.Engine
+	window int
+	n      int
+
+	ports    []Port
+	inFlight []int // inFlight[src*n+dst] counts unacked messages
 	// windowFree signals senders blocked on a full window.
 	windowFree []*sim.Cond
 	// arrivals[dst] holds messages the port refused, FIFO.
-	arrivals [][]*Msg
-	n        int
+	arrivals []sim.FIFO[*Msg]
 
 	windowStalls *sim.Counter
 	msgs         *sim.Counter
@@ -91,95 +132,118 @@ type Network struct {
 	// acking a message schedules an existing func value instead of
 	// allocating a fresh closure per message.
 	ackFns []func()
+	// ackLatency returns the credit-return delay for an accepted
+	// message (set once by the embedding fabric).
+	ackLatency func(m *Msg) sim.Time
 }
 
-// New creates a network for n nodes.
-func New(e *sim.Engine, st *sim.Stats, n int) *Network {
-	nw := &Network{
-		eng:          e,
-		latency:      params.NetLatency,
-		window:       params.NetWindow,
-		ports:        make([]Port, n),
-		inFlight:     make([]int, n*n),
-		arrivals:     make([][]*Msg, n),
-		n:            n,
-		windowStalls: st.Counter("net.window.stall"),
-		msgs:         st.Counter("net.msg"),
-		bytes:        st.Counter("net.bytes"),
-		backpressure: st.Counter("net.backpressure"),
-	}
-	nw.windowFree = make([]*sim.Cond, n*n)
-	nw.ackFns = make([]func(), n*n)
-	for i := range nw.windowFree {
-		nw.windowFree[i] = sim.NewCond(e)
+// init wires the shared edge state for n nodes.
+func (ep *endpoints) init(e *sim.Engine, st *sim.Stats, n int, ackLatency func(*Msg) sim.Time) {
+	ep.eng = e
+	ep.window = params.NetWindow
+	ep.n = n
+	ep.ports = make([]Port, n)
+	ep.inFlight = make([]int, n*n)
+	ep.arrivals = make([]sim.FIFO[*Msg], n)
+	ep.windowStalls = st.Counter("net.window.stall")
+	ep.msgs = st.Counter("net.msg")
+	ep.bytes = st.Counter("net.bytes")
+	ep.backpressure = st.Counter("net.backpressure")
+	ep.windowFree = make([]*sim.Cond, n*n)
+	ep.ackFns = make([]func(), n*n)
+	for i := range ep.windowFree {
+		ep.windowFree[i] = sim.NewCond(e)
 		slot := i
-		nw.ackFns[i] = func() {
-			nw.inFlight[slot]--
-			nw.windowFree[slot].Signal()
+		ep.ackFns[i] = func() {
+			ep.inFlight[slot]--
+			ep.windowFree[slot].Signal()
 		}
 	}
-	return nw
+	ep.ackLatency = ackLatency
 }
 
-// Register binds node id's port. Must be called before traffic flows.
-func (nw *Network) Register(id int, p Port) { nw.ports[id] = p }
+// Register binds node id's port.
+func (ep *endpoints) Register(id int, p Port) { ep.ports[id] = p }
 
 // Nodes returns the node count.
-func (nw *Network) Nodes() int { return nw.n }
+func (ep *endpoints) Nodes() int { return ep.n }
 
 // CanInject reports whether src may inject to dst without blocking.
-func (nw *Network) CanInject(src, dst int) bool {
-	return nw.inFlight[src*nw.n+dst] < nw.window
+func (ep *endpoints) CanInject(src, dst int) bool {
+	return ep.inFlight[src*ep.n+dst] < ep.window
+}
+
+// admit blocks p while the window to m.Dst is full, then charges the
+// message against the window and the traffic counters.
+func (ep *endpoints) admit(p *sim.Process, m *Msg) {
+	slot := m.Src*ep.n + m.Dst
+	for ep.inFlight[slot] >= ep.window {
+		ep.windowStalls.Inc()
+		ep.windowFree[slot].Wait(p)
+	}
+	ep.inFlight[slot]++
+	ep.msgs.Inc()
+	ep.bytes.Add(uint64(m.Size + params.HeaderBytes))
+}
+
+// arrive queues m at the destination and attempts delivery.
+func (ep *endpoints) arrive(m *Msg) {
+	ep.arrivals[m.Dst].Push(m)
+	ep.drain(m.Dst)
+}
+
+// drain offers queued messages to the port in order until it refuses.
+func (ep *endpoints) drain(dst int) {
+	port := ep.ports[dst]
+	for ep.arrivals[dst].Len() > 0 {
+		m := ep.arrivals[dst].Peek()
+		if !port.NetDeliver(m) {
+			ep.backpressure.Inc()
+			return
+		}
+		ep.arrivals[dst].Pop()
+		// Return the window credit to the sender after the ack latency.
+		ep.eng.Schedule(ep.ackLatency(m), ep.ackFns[m.Src*ep.n+m.Dst])
+	}
+}
+
+// Unblock re-offers waiting arrivals after dst's NI freed space.
+func (ep *endpoints) Unblock(dst int) { ep.drain(dst) }
+
+// Pending reports undelivered arrivals at dst (diagnostics).
+func (ep *endpoints) Pending(dst int) int { return ep.arrivals[dst].Len() }
+
+// InFlight reports unacked messages from src to dst (diagnostics).
+func (ep *endpoints) InFlight(src, dst int) int { return ep.inFlight[src*ep.n+dst] }
+
+// Flat is the paper's fixed-latency network (§4.1): topology is
+// ignored and transit takes a constant latency regardless of load.
+type Flat struct {
+	endpoints
+	latency sim.Time
+
+	// transit holds in-flight messages in injection order. Latency is
+	// constant, so arrival events fire in the same order and the
+	// pre-built arriveFn pops the matching message — no per-message
+	// closure is allocated.
+	transit  sim.FIFO[*Msg]
+	arriveFn func()
+}
+
+// New creates the default flat (contention-free) network for n nodes.
+func New(e *sim.Engine, st *sim.Stats, n int) *Flat {
+	f := &Flat{latency: params.NetLatency}
+	f.init(e, st, n, func(*Msg) sim.Time { return f.latency })
+	f.arriveFn = func() { f.arrive(f.transit.Pop()) }
+	return f
 }
 
 // Inject sends m, blocking the calling (device) process while the
 // sliding window to m.Dst is full. Transit takes the network latency;
 // delivery is attempted on arrival and retried when the destination
 // port unblocks.
-func (nw *Network) Inject(p *sim.Process, m *Msg) {
-	slot := m.Src*nw.n + m.Dst
-	for nw.inFlight[slot] >= nw.window {
-		nw.windowStalls.Inc()
-		nw.windowFree[slot].Wait(p)
-	}
-	nw.inFlight[slot]++
-	nw.msgs.Inc()
-	nw.bytes.Add(uint64(m.Size + params.HeaderBytes))
-	nw.eng.Schedule(nw.latency, func() { nw.arrive(m) })
+func (f *Flat) Inject(p *sim.Process, m *Msg) {
+	f.admit(p, m)
+	f.transit.Push(m)
+	f.eng.Schedule(f.latency, f.arriveFn)
 }
-
-// arrive queues m at the destination and attempts delivery.
-func (nw *Network) arrive(m *Msg) {
-	nw.arrivals[m.Dst] = append(nw.arrivals[m.Dst], m)
-	nw.drain(m.Dst)
-}
-
-// drain offers queued messages to the port in order until it refuses.
-func (nw *Network) drain(dst int) {
-	port := nw.ports[dst]
-	for len(nw.arrivals[dst]) > 0 {
-		m := nw.arrivals[dst][0]
-		if !port.NetDeliver(m) {
-			nw.backpressure.Inc()
-			return
-		}
-		nw.arrivals[dst] = nw.arrivals[dst][1:]
-		nw.ack(m)
-	}
-}
-
-// Unblock tells the network that dst's NI freed buffer space; any
-// waiting arrivals are re-offered.
-func (nw *Network) Unblock(dst int) { nw.drain(dst) }
-
-// ack returns the window credit to the sender after the return
-// latency.
-func (nw *Network) ack(m *Msg) {
-	nw.eng.Schedule(nw.latency, nw.ackFns[m.Src*nw.n+m.Dst])
-}
-
-// Pending reports undelivered arrivals at dst (diagnostics).
-func (nw *Network) Pending(dst int) int { return len(nw.arrivals[dst]) }
-
-// InFlight reports unacked messages from src to dst (diagnostics).
-func (nw *Network) InFlight(src, dst int) int { return nw.inFlight[src*nw.n+dst] }

@@ -21,7 +21,7 @@ func (f *fakePort) NetDeliver(m *Msg) bool {
 	return true
 }
 
-func rig(n int) (*sim.Engine, *Network, []*fakePort) {
+func rig(n int) (*sim.Engine, *Flat, []*fakePort) {
 	e := sim.NewEngine()
 	st := sim.NewStats(e)
 	nw := New(e, st, n)

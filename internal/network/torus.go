@@ -1,0 +1,190 @@
+package network
+
+import (
+	"repro/internal/params"
+	"repro/internal/sim"
+)
+
+// Output-link direction indices at each torus router.
+const (
+	dirXPos = iota
+	dirXNeg
+	dirYPos
+	dirYNeg
+	numDirs
+)
+
+// torusLink is one unidirectional router-to-router channel. A link
+// carries one message at a time (occupancy = serialisation of the
+// 256-byte message); contenders queue in FIFO order. Messages that
+// have finished serialising remain "on the wire" for the hop latency,
+// tracked in flight — transmissions are pipelined, so flight can hold
+// more than one message, but they always arrive in transmit order.
+type torusLink struct {
+	busy   bool
+	queue  sim.FIFO[*Msg] // waiting for the link, FIFO arbitration
+	flight sim.FIFO[*Msg] // serialised, in hop-latency flight
+}
+
+// Torus is a W×H 2D torus with dimension-order (x then y) routing and
+// store-and-forward switching. Each hop costs the link occupancy
+// (serialisation) plus the hop latency; a busy link queues messages,
+// which is where load-dependent latency comes from. End-to-end flow
+// control is the same sliding window as the flat network; window
+// credits return on a contention-free path in hop-count time (acks
+// are a few bytes and are not modelled as consuming link bandwidth).
+type Torus struct {
+	endpoints
+	w, h      int
+	hopLat    sim.Time
+	occupancy sim.Time
+	links     []torusLink // links[node*numDirs+dir]
+
+	// Pre-built per-link event callbacks (no per-message closures).
+	releaseFns []func()
+	arriveFns  []func()
+
+	hops      *sim.Counter
+	linkWaits *sim.Counter
+}
+
+// NewTorus creates a 2D torus for n nodes, factored into the most
+// nearly square W×H grid (params.TorusDims).
+func NewTorus(e *sim.Engine, st *sim.Stats, n int) *Torus {
+	w, h := params.TorusDims(n)
+	t := &Torus{
+		w:         w,
+		h:         h,
+		hopLat:    params.TorusHopLatency,
+		occupancy: params.TorusLinkOccupancy,
+		links:     make([]torusLink, n*numDirs),
+	}
+	t.init(e, st, n, func(m *Msg) sim.Time {
+		return sim.Time(t.HopCount(m.Src, m.Dst)) * t.hopLat
+	})
+	t.hops = st.Counter("net.torus.hop")
+	t.linkWaits = st.Counter("net.torus.link.wait")
+	t.releaseFns = make([]func(), n*numDirs)
+	t.arriveFns = make([]func(), n*numDirs)
+	for i := range t.links {
+		li := i
+		t.releaseFns[i] = func() { t.release(li) }
+		t.arriveFns[i] = func() { t.linkArrive(li) }
+	}
+	return t
+}
+
+// Dims returns the torus width and height.
+func (t *Torus) Dims() (w, h int) { return t.w, t.h }
+
+// coords maps a node id to grid coordinates (row-major).
+func (t *Torus) coords(id int) (x, y int) { return id % t.w, id / t.w }
+
+// HopCount returns the dimension-order path length between two nodes
+// (minimal in each dimension, wrapping around the torus).
+func (t *Torus) HopCount(src, dst int) int {
+	sx, sy := t.coords(src)
+	dx, dy := t.coords(dst)
+	fx := (dx - sx + t.w) % t.w
+	if fx > t.w-fx {
+		fx = t.w - fx
+	}
+	fy := (dy - sy + t.h) % t.h
+	if fy > t.h-fy {
+		fy = t.h - fy
+	}
+	return fx + fy
+}
+
+// nextDir returns the dimension-order output direction at node cur
+// for a message to dst, or -1 when cur == dst. Ties between the two
+// wrap directions go to the positive link.
+func (t *Torus) nextDir(cur, dst int) int {
+	cx, cy := t.coords(cur)
+	dx, dy := t.coords(dst)
+	if cx != dx {
+		fwd := (dx - cx + t.w) % t.w
+		if fwd <= t.w-fwd {
+			return dirXPos
+		}
+		return dirXNeg
+	}
+	if cy != dy {
+		fwd := (dy - cy + t.h) % t.h
+		if fwd <= t.h-fwd {
+			return dirYPos
+		}
+		return dirYNeg
+	}
+	return -1
+}
+
+// neighbor returns the node on the far end of node's dir output link.
+func (t *Torus) neighbor(node, dir int) int {
+	x, y := t.coords(node)
+	switch dir {
+	case dirXPos:
+		x = (x + 1) % t.w
+	case dirXNeg:
+		x = (x - 1 + t.w) % t.w
+	case dirYPos:
+		y = (y + 1) % t.h
+	case dirYNeg:
+		y = (y - 1 + t.h) % t.h
+	}
+	return y*t.w + x
+}
+
+// Inject sends m, blocking the calling (device) process while the
+// sliding window to m.Dst is full, then starts the hop-by-hop
+// traversal at the source router.
+func (t *Torus) Inject(p *sim.Process, m *Msg) {
+	t.admit(p, m)
+	t.forward(m, m.Src)
+}
+
+// forward routes m one step from node: eject if this is the
+// destination, otherwise claim (or queue on) the dimension-order
+// output link.
+func (t *Torus) forward(m *Msg, node int) {
+	dir := t.nextDir(node, m.Dst)
+	if dir < 0 {
+		t.arrive(m)
+		return
+	}
+	li := node*numDirs + dir
+	if t.links[li].busy {
+		t.linkWaits.Inc()
+		t.links[li].queue.Push(m)
+		return
+	}
+	t.transmit(li, m)
+}
+
+// transmit serialises m onto link li: the link is held for the
+// occupancy, and m reaches the next router occupancy+hopLat later.
+func (t *Torus) transmit(li int, m *Msg) {
+	lk := &t.links[li]
+	lk.busy = true
+	lk.flight.Push(m)
+	t.hops.Inc()
+	t.eng.Schedule(t.occupancy, t.releaseFns[li])
+	t.eng.Schedule(t.occupancy+t.hopLat, t.arriveFns[li])
+}
+
+// release frees link li after a serialisation completes and starts
+// the next queued message, if any.
+func (t *Torus) release(li int) {
+	lk := &t.links[li]
+	lk.busy = false
+	if lk.queue.Len() > 0 {
+		t.transmit(li, lk.queue.Pop())
+	}
+}
+
+// linkArrive lands the oldest in-flight message on link li at the
+// downstream router and routes it onward.
+func (t *Torus) linkArrive(li int) {
+	m := t.links[li].flight.Pop()
+	t.forward(m, t.neighbor(li/numDirs, li%numDirs))
+}

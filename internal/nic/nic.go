@@ -73,7 +73,7 @@ type Deps struct {
 	Stats  *sim.Stats
 	Fabric *bus.Fabric
 	CPU    *proc.CPU
-	Net    *network.Network
+	Net    network.Interconnect
 	NodeID int
 	Loc    params.BusKind
 	Cfg    params.Config

@@ -85,6 +85,54 @@ func (n NIKind) String() string {
 // AllNIs lists the five designs in the paper's presentation order.
 var AllNIs = []NIKind{NI2w, CNI4, CNI16Q, CNI512Q, CNI16Qm}
 
+// Topology selects the interconnect fabric model connecting the nodes.
+type Topology int
+
+const (
+	// TopoFlat is the paper's §4.1 idealised network: topology is
+	// ignored and every message takes a constant latency. The default.
+	TopoFlat Topology = iota
+	// TopoTorus is a 2D torus with dimension-order routing, per-link
+	// FIFO arbitration, single-message-at-a-time link occupancy, and a
+	// per-hop latency — the regime where the interconnect itself can be
+	// the bottleneck.
+	TopoTorus
+)
+
+func (t Topology) String() string {
+	switch t {
+	case TopoFlat:
+		return "flat"
+	case TopoTorus:
+		return "torus"
+	}
+	return fmt.Sprintf("Topology(%d)", int(t))
+}
+
+// ParseTopology resolves a CLI topology name.
+func ParseTopology(s string) (Topology, error) {
+	switch s {
+	case "flat", "":
+		return TopoFlat, nil
+	case "torus":
+		return TopoTorus, nil
+	}
+	return TopoFlat, fmt.Errorf("params: unknown topology %q (want flat or torus)", s)
+}
+
+// TorusDims factors n nodes into the most nearly square W×H torus
+// (W ≤ H, W·H = n). Any n ≥ 1 works; primes degrade to a 1×n ring.
+func TorusDims(n int) (w, h int) {
+	w = 1
+	for (w+1)*(w+1) <= n {
+		w++
+	}
+	for n%w != 0 {
+		w--
+	}
+	return w, n / w
+}
+
 // QueueBlocks returns the exposed queue size in 64-byte blocks
 // (Table 1's subscript). NI2w exposes two 4-byte words, reported
 // as 0 blocks here; use ExposedWords for it.
@@ -137,6 +185,18 @@ const (
 	// NetWindow is the hardware sliding-window limit: messages in
 	// flight per destination before the sender blocks for acks.
 	NetWindow = 4
+
+	// TorusHopLatency is the router traversal + wire time per torus
+	// hop, in CPU cycles. Chosen so a few hops land near the flat
+	// model's 100-cycle traversal.
+	TorusHopLatency = 20
+	// TorusLinkOccupancy is how long one 256-byte network message
+	// holds a torus link (its serialisation time); a second message
+	// wanting the same link queues behind it. 256 cycles is a
+	// 200 MB/s link at the 200 MHz processor clock — generous for the
+	// paper's era but slow enough that converging flows contend,
+	// which is the regime the torus exists to expose.
+	TorusLinkOccupancy = 256
 
 	// StoreBufferDepth models the processor's store buffer for posted
 	// uncached stores; MEMBAR drains it.
@@ -276,6 +336,11 @@ type Config struct {
 	NI    NIKind  // which network interface design
 	Bus   BusKind // where the NI is attached
 
+	// Topology selects the interconnect fabric. The zero value
+	// (TopoFlat) is the paper's constant-latency network; TopoTorus
+	// adds link contention and per-hop latency.
+	Topology Topology
+
 	// Snarfing enables data snarfing on the processor cache: the cache
 	// loads a block from an observed writeback when it has a matching
 	// tag in Invalid state (§5.1.2, CNI16Qm only in the paper).
@@ -322,6 +387,9 @@ func (c Config) Validate() error {
 	if c.UpdateProtocol && !c.NI.IsCQ() {
 		return fmt.Errorf("params: the update-protocol extension applies to the CQ designs")
 	}
+	if c.Topology != TopoFlat && c.Topology != TopoTorus {
+		return fmt.Errorf("params: unknown topology %v", c.Topology)
+	}
 	return nil
 }
 
@@ -356,6 +424,9 @@ func (c Config) Name() string {
 	s := c.NI.String() + "@" + c.Bus.String()
 	if c.Snarfing {
 		s += "+snarf"
+	}
+	if c.Topology != TopoFlat {
+		s += "+" + c.Topology.String()
 	}
 	return s
 }

@@ -110,3 +110,41 @@ func TestNI2wFIFOOverride(t *testing.T) {
 		t.Errorf("override FIFO = %d", got)
 	}
 }
+
+func TestTopology(t *testing.T) {
+	if TopoFlat.String() != "flat" || TopoTorus.String() != "torus" {
+		t.Error("topology names drifted")
+	}
+	if topo, err := ParseTopology("torus"); err != nil || topo != TopoTorus {
+		t.Errorf("ParseTopology(torus) = %v, %v", topo, err)
+	}
+	if topo, err := ParseTopology(""); err != nil || topo != TopoFlat {
+		t.Errorf("ParseTopology of empty = %v, %v, want the flat default", topo, err)
+	}
+	if _, err := ParseTopology("hypercube"); err == nil {
+		t.Error("ParseTopology accepted an unknown fabric")
+	}
+}
+
+func TestValidateTopology(t *testing.T) {
+	cfg := Config{Nodes: 16, NI: CNI512Q, Bus: MemoryBus, Topology: TopoTorus}
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("torus config invalid: %v", err)
+	}
+	cfg.Topology = Topology(99)
+	if err := cfg.Validate(); err == nil {
+		t.Error("unknown topology passed Validate")
+	}
+}
+
+func TestConfigNameTopology(t *testing.T) {
+	flat := Config{Nodes: 2, NI: CNI512Q, Bus: MemoryBus}
+	if got := flat.Name(); got != "CNI512Q@memory" {
+		t.Errorf("flat Name = %q; the default must not grow a topology suffix", got)
+	}
+	torus := flat
+	torus.Topology = TopoTorus
+	if got := torus.Name(); got != "CNI512Q@memory+torus" {
+		t.Errorf("torus Name = %q", got)
+	}
+}
