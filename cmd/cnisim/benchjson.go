@@ -34,6 +34,13 @@ type benchReport struct {
 	// TorusProbeRTTCycles pins the congestion model: probe RTT under
 	// heavy hotspot load on the 16-node torus.
 	TorusProbeRTTCycles uint64 `json:"torus_hotspot_rtt_64B_cni512q_cycles"`
+	// The loadsweep canaries pin the workload/telemetry subsystem:
+	// CNI512Q's saturation offered load (knee) for the Zipf-hotspot
+	// workload per fabric. The torus value must sit strictly below
+	// the flat one — converging hotspot flows queue on shared links —
+	// and --check enforces the relation as well as the exact values.
+	LoadsweepFlatKneeMBps  float64 `json:"loadsweep_flat_knee_cni512q_mbps"`
+	LoadsweepTorusKneeMBps float64 `json:"loadsweep_torus_knee_cni512q_mbps"`
 
 	// Experiment-harness wall clock (host).
 	Fig6MemoryWallMs float64 `json:"fig6_memory_wall_ms"`
@@ -84,6 +91,9 @@ func canaries(r *benchReport) {
 	r.BW4KBCNI512QMBps = cni.Bandwidth(cfg, 4096, 200)
 	torus := cni.Config{Nodes: 16, NI: cni.CNI512Q, Bus: cni.MemoryBus, Topology: cni.TopoTorus}
 	r.TorusProbeRTTCycles = uint64(cni.ProbeRTT(torus, 64, 8, 1000))
+	_, rows := cni.LoadSweep(cni.SweepOptions{NIs: []cni.NIKind{cni.CNI512Q}})
+	r.LoadsweepFlatKneeMBps = rows[0].KneeOfferedMBps
+	r.LoadsweepTorusKneeMBps = rows[1].KneeOfferedMBps
 }
 
 // checkCanaries regenerates the simulated canaries and diffs them
@@ -112,6 +122,18 @@ func checkCanaries(path string) error {
 	if fresh.TorusProbeRTTCycles != committed.TorusProbeRTTCycles {
 		drift = append(drift, fmt.Sprintf("torus_hotspot_rtt_64B_cni512q_cycles: committed %d, fresh %d",
 			committed.TorusProbeRTTCycles, fresh.TorusProbeRTTCycles))
+	}
+	if fresh.LoadsweepFlatKneeMBps != committed.LoadsweepFlatKneeMBps {
+		drift = append(drift, fmt.Sprintf("loadsweep_flat_knee_cni512q_mbps: committed %v, fresh %v",
+			committed.LoadsweepFlatKneeMBps, fresh.LoadsweepFlatKneeMBps))
+	}
+	if fresh.LoadsweepTorusKneeMBps != committed.LoadsweepTorusKneeMBps {
+		drift = append(drift, fmt.Sprintf("loadsweep_torus_knee_cni512q_mbps: committed %v, fresh %v",
+			committed.LoadsweepTorusKneeMBps, fresh.LoadsweepTorusKneeMBps))
+	}
+	if fresh.LoadsweepTorusKneeMBps >= fresh.LoadsweepFlatKneeMBps {
+		drift = append(drift, fmt.Sprintf("loadsweep saturation inversion: torus knee %v MB/s must sit strictly below flat %v MB/s",
+			fresh.LoadsweepTorusKneeMBps, fresh.LoadsweepFlatKneeMBps))
 	}
 	if len(drift) > 0 {
 		return fmt.Errorf("simulated canaries drifted from %s (a timing-model change must update the snapshot deliberately):\n  %s",

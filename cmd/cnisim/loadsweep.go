@@ -1,0 +1,124 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	cni "repro"
+	"repro/internal/harness"
+)
+
+// runLoadSweep drives the workload/telemetry subsystem: by default a
+// full offered-load sweep to saturation per NI × topology; with
+// --load, one measured point at a fixed per-node offered load.
+func runLoadSweep(args []string) error {
+	fs := flag.NewFlagSet("loadsweep", flag.ExitOnError)
+	arrival := fs.String("arrival", "poisson", "arrival process: poisson, bursty, or closed")
+	zipf := fs.Float64("zipf", -1, "destination Zipf skew (>= 0 overrides, 0 = uniform; default keeps the hotspot skew)")
+	load := fs.Float64("load", 0, "measure one point at this per-node offered MB/s instead of sweeping")
+	ni := fs.String("ni", "", "restrict to one NI design (default: the five paper NIs + DMA)")
+	topology := fs.String("topology", "", "restrict to one fabric (default: flat and torus)")
+	seed := fs.Uint64("seed", 0, "workload seed (0 = default)")
+	jsonOut := fs.String("json", "", "write machine-readable sweep rows (JSON) to this path")
+	csvOut := fs.String("csv", "", "write the sweep summary (CSV) to this path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ak, err := cni.ParseArrival(*arrival)
+	if err != nil {
+		return err
+	}
+	opt := cni.SweepOptions{Arrival: ak, Seed: *seed}
+	if *zipf >= 0 {
+		opt.ZipfS = zipf
+	}
+	if *ni != "" {
+		kind, err := parseNI(*ni)
+		if err != nil {
+			return err
+		}
+		opt.NIs = []cni.NIKind{kind}
+	}
+	if *topology != "" {
+		topo, err := cni.ParseTopology(*topology)
+		if err != nil {
+			return err
+		}
+		opt.Topos = []cni.Topology{topo}
+	}
+	if *load > 0 {
+		if *jsonOut != "" || *csvOut != "" {
+			return fmt.Errorf("--json/--csv export the full sweep; they do not apply to a single --load point")
+		}
+		if ak == cni.ArrivalClosed {
+			return fmt.Errorf("--load sets an open-loop offered rate; the closed loop self-limits (run the closed-loop sweep without --load instead)")
+		}
+		return runLoadPoint(opt, *load)
+	}
+	t, rows := cni.LoadSweep(opt)
+	fmt.Print(t.String())
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(rows, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *jsonOut)
+	}
+	if *csvOut != "" {
+		if err := os.WriteFile(*csvOut, []byte(sweepCSV(rows)), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *csvOut)
+	}
+	return nil
+}
+
+// sweepCSV renders the sweep summary rows as CSV.
+func sweepCSV(rows []cni.SweepRow) string {
+	var b strings.Builder
+	b.WriteString("ni,topology,saturation_mbps,knee_offered_mbps," +
+		"p50_us_30,p99_us_30,p999_us_30," +
+		"p50_us_60,p99_us_60,p999_us_60," +
+		"p50_us_90,p99_us_90,p999_us_90\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%s,%s,%.1f,%.1f", r.NI, r.Topology, r.SaturationMBps, r.KneeOfferedMBps)
+		for _, pt := range r.AtFrac {
+			fmt.Fprintf(&b, ",%.1f,%.1f,%.1f", pt.P50Us, pt.P99Us, pt.P999Us)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// runLoadPoint measures one offered-load point with full percentile
+// output, using the sweep's measurement windows.
+func runLoadPoint(opt cni.SweepOptions, perNodeMBps float64) error {
+	kind := cni.CNI512Q
+	if len(opt.NIs) == 1 {
+		kind = opt.NIs[0]
+	}
+	topo := cni.TopoFlat
+	if len(opt.Topos) == 1 {
+		topo = opt.Topos[0]
+	}
+	wl := harness.SweepWorkload(opt, perNodeMBps, 0)
+	cfg := cni.Config{Nodes: harness.SweepNodes, NI: kind, Bus: cni.MemoryBus, Topology: topo, Workload: wl}
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	rep := cni.MeasureLoad(cfg, harness.SweepWarm, harness.SweepMeasure)
+	us := func(q float64) float64 { return cni.Microseconds(rep.Latency.Quantile(q)) }
+	fmt.Printf("%s %v arrivals, Zipf(s=%.2f), %d nodes\n", cfg.Name(), wl.Arrival, wl.ZipfS, cfg.Nodes)
+	fmt.Printf("offered %.1f MB/s  goodput %.1f MB/s  sent %d  delivered %d\n",
+		rep.OfferedMBps, rep.GoodputMBps, rep.Sent, rep.Delivered)
+	fmt.Printf("latency (us): p50 %.1f  p90 %.1f  p99 %.1f  p99.9 %.1f  max %.1f  (n=%d)\n",
+		us(0.50), us(0.90), us(0.99), us(0.999),
+		cni.Microseconds(rep.Latency.Max()), rep.Latency.Count())
+	return nil
+}

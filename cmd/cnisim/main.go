@@ -19,6 +19,8 @@
 //	cnisim incast --ni=CNI512Q --bus=memory --size=244 [--topology=torus]
 //	cnisim exchange --ni=CNI512Q --bus=memory --size=64 [--topology=torus]
 //	cnisim bench --app=spsolve --ni=CNI16Qm --bus=memory [--topology=torus]
+//	cnisim loadsweep [--arrival=poisson|bursty|closed] [--zipf=1.1] [--ni=...] [--topology=...]
+//	cnisim loadsweep --load=8 --ni=CNI512Q --topology=torus   (one load point, MB/s per node)
 //	cnisim benchjson [--out=BENCH_sim.json] [--check]
 //	cnisim all
 package main
@@ -57,6 +59,9 @@ commands:
   sweep             queue-size sweep
   dma               CNI vs user-level-DMA comparison
   congestion        probe RTT/bandwidth under load, flat vs torus
+  loadsweep         offered-load sweep to saturation with tail-latency telemetry
+                    (--arrival --zipf --ni --topology --seed --json --csv;
+                    --load=MB/s per node measures one point instead)
   latency           one 2-node round-trip measurement (--ni --bus --size --topology)
   bandwidth         one 2-node bandwidth measurement (--ni --bus --size --topology)
   incast            hotspot incast: all nodes stream to node 0 (--ni --bus --nodes --size --count --topology)
@@ -66,7 +71,8 @@ commands:
   all               every experiment in sequence
 
 flags:
-  --topology=flat|torus   interconnect fabric (default flat, the paper's model)`
+  --topology=flat|torus           interconnect fabric (default flat, the paper's model)
+  --arrival=poisson|bursty|closed workload arrival process (loadsweep)`
 
 func usage() {
 	fmt.Fprintln(os.Stderr, usageText)
@@ -103,6 +109,8 @@ func run(cmd string, args []string) error {
 		return show("congestion", nil)
 	case "latency", "bandwidth", "incast", "exchange":
 		return runMicro(cmd, args)
+	case "loadsweep":
+		return runLoadSweep(args)
 	case "bench":
 		return runBench(args)
 	case "benchjson":
@@ -145,22 +153,11 @@ func parseConfig(ni, bus, topology string, nodes int) (cni.Config, error) {
 		return cfg, err
 	}
 	cfg.Topology = topo
-	switch strings.ToLower(ni) {
-	case "ni2w":
-		cfg.NI = cni.NI2w
-	case "cni4":
-		cfg.NI = cni.CNI4
-	case "cni16q":
-		cfg.NI = cni.CNI16Q
-	case "cni512q":
-		cfg.NI = cni.CNI512Q
-	case "cni16qm":
-		cfg.NI = cni.CNI16Qm
-	case "dma":
-		cfg.NI = cni.DMA
-	default:
-		return cfg, fmt.Errorf("unknown NI %q", ni)
+	kind, err := parseNI(ni)
+	if err != nil {
+		return cfg, err
 	}
+	cfg.NI = kind
 	switch bus {
 	case "cache":
 		cfg.Bus = cni.CacheBus
@@ -169,10 +166,14 @@ func parseConfig(ni, bus, topology string, nodes int) (cni.Config, error) {
 	case "io":
 		cfg.Bus = cni.IOBus
 	default:
-		return cfg, fmt.Errorf("unknown bus %q", bus)
+		return cfg, fmt.Errorf("unknown bus %q (valid: cache, memory, io)", bus)
 	}
 	return cfg, cfg.Validate()
 }
+
+// parseNI resolves an NI design name; the valid set and its
+// valid-values error live in params (one place to extend).
+func parseNI(ni string) (cni.NIKind, error) { return cni.ParseNI(ni) }
 
 func runMicro(cmd string, args []string) error {
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)

@@ -65,6 +65,55 @@ func TestRunMicroCommands(t *testing.T) {
 	}
 }
 
+func TestRunLoadPoint(t *testing.T) {
+	if err := run("loadsweep", []string{"--load=4", "--ni=CNI16Q", "--topology=torus"}); err != nil {
+		t.Errorf("loadsweep --load: %v", err)
+	}
+	if err := run("loadsweep", []string{"--load=4", "--arrival=bursty", "--zipf=0.5"}); err != nil {
+		t.Errorf("loadsweep --load bursty: %v", err)
+	}
+	// --load is an open-loop offered rate; the closed loop self-limits.
+	if err := run("loadsweep", []string{"--load=4", "--arrival=closed"}); err == nil {
+		t.Error("loadsweep --load --arrival=closed should error")
+	}
+	// JSON/CSV export only applies to the full sweep, never silently
+	// skipped for a single point.
+	if err := run("loadsweep", []string{"--load=4", "--json=/tmp/x.json"}); err == nil {
+		t.Error("loadsweep --load --json should error")
+	}
+}
+
+// TestFlagTyposFailWithValidValues pins the CLI contract from this
+// PR's satellite: a typo in --topology, --arrival, --ni, or --bus
+// must fail with an error listing the valid values, never silently
+// fall back to a default.
+func TestFlagTyposFailWithValidValues(t *testing.T) {
+	cases := []struct {
+		cmd   string
+		args  []string
+		wants []string // substrings the error must carry
+	}{
+		{"latency", []string{"--topology=ring"}, []string{"ring", "flat", "torus"}},
+		{"loadsweep", []string{"--topology=mesh"}, []string{"mesh", "flat", "torus"}},
+		{"loadsweep", []string{"--arrival=burst"}, []string{"burst", "poisson", "bursty", "closed"}},
+		{"loadsweep", []string{"--ni=CNI1024Q"}, []string{"CNI1024Q", "NI2w", "CNI512Q", "DMA"}},
+		{"latency", []string{"--ni=bogus"}, []string{"bogus", "CNI16Qm"}},
+		{"latency", []string{"--bus=warp"}, []string{"warp", "cache", "memory", "io"}},
+	}
+	for _, c := range cases {
+		err := run(c.cmd, c.args)
+		if err == nil {
+			t.Errorf("%s %v: expected an error", c.cmd, c.args)
+			continue
+		}
+		for _, want := range c.wants {
+			if !strings.Contains(err.Error(), want) {
+				t.Errorf("%s %v: error %q does not mention %q", c.cmd, c.args, err, want)
+			}
+		}
+	}
+}
+
 // TestUsageListsEveryExperiment pins the usage text to the experiment
 // registry: every name cni.Experiment accepts (and every micro
 // command run dispatches) must be discoverable from `cnisim
@@ -81,7 +130,7 @@ func TestUsageListsEveryExperiment(t *testing.T) {
 			t.Errorf("usage text does not mention experiment %q (looked for %q)", name, base)
 		}
 	}
-	for _, cmd := range []string{"latency", "bandwidth", "incast", "exchange", "bench", "benchjson", "all", "list", "--topology"} {
+	for _, cmd := range []string{"latency", "bandwidth", "incast", "exchange", "bench", "benchjson", "all", "list", "--topology", "loadsweep", "--arrival"} {
 		if !strings.Contains(usageText, cmd) {
 			t.Errorf("usage text does not mention %q", cmd)
 		}
@@ -97,7 +146,7 @@ func TestListMatchesExperimentNames(t *testing.T) {
 		"table1": true, "table2": true, "table3": true, "table4": true,
 		"fig6": true, "fig7": true, "fig8": true,
 		"occupancy": true, "ablation": true, "sweep": true, "dma": true,
-		"congestion": true,
+		"congestion": true, "loadsweep": true,
 	}
 	for _, name := range cni.ExperimentNames() {
 		base, _, _ := strings.Cut(name, "-")

@@ -35,6 +35,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/params"
 	"repro/internal/sim"
+	"repro/internal/workload"
 )
 
 // Config selects a machine configuration: node count, NI design, bus
@@ -81,6 +82,52 @@ const (
 
 // ParseTopology resolves a CLI topology name ("flat" or "torus").
 func ParseTopology(s string) (Topology, error) { return params.ParseTopology(s) }
+
+// ArrivalKind selects a workload arrival process.
+type ArrivalKind = params.ArrivalKind
+
+// The workload arrival processes (internal/workload).
+const (
+	ArrivalPoisson = params.ArrivalPoisson
+	ArrivalBursty  = params.ArrivalBursty
+	ArrivalClosed  = params.ArrivalClosed
+)
+
+// ParseArrival resolves a CLI arrival-process name ("poisson",
+// "bursty", or "closed").
+func ParseArrival(s string) (ArrivalKind, error) { return params.ParseArrival(s) }
+
+// ParseNI resolves a CLI NI design name (case-insensitive).
+func ParseNI(s string) (NIKind, error) { return params.ParseNI(s) }
+
+// Workload configures the deterministic traffic generators; attach
+// one to Config.Workload and measure with MeasureLoad.
+type Workload = params.Workload
+
+// DefaultWorkload is the load sweep's reference traffic spec.
+func DefaultWorkload() Workload { return params.DefaultWorkload() }
+
+// LoadReport is one measured workload run: offered load, goodput, and
+// the end-to-end latency histogram.
+type LoadReport = workload.Report
+
+// MeasureLoad runs cfg's workload (cfg.Workload, nil for the default)
+// for warm + measure cycles and reports goodput and tail latency from
+// the measurement window.
+func MeasureLoad(cfg Config, warm, measure Cycles) LoadReport {
+	return workload.Run(cfg, warm, measure)
+}
+
+// SweepOptions selects what LoadSweep sweeps.
+type SweepOptions = harness.SweepOptions
+
+// SweepRow is one NI × topology load sweep's machine-readable result.
+type SweepRow = harness.SweepRow
+
+// LoadSweep steps offered load up a ladder per NI × topology until
+// goodput stops tracking it, and reports saturation throughput plus
+// tail latency at 30/60/90% of the saturation load.
+func LoadSweep(opt SweepOptions) (*Table, []SweepRow) { return harness.LoadSweep(opt) }
 
 // AllNIs lists the five designs in the paper's order.
 var AllNIs = params.AllNIs
@@ -163,6 +210,7 @@ func ExperimentNames() []string {
 		"fig7-memory", "fig7-io", "fig7-alt",
 		"fig8-memory", "fig8-io", "fig8-alt",
 		"occupancy", "ablation", "sweep", "dma", "congestion",
+		"loadsweep",
 	}
 }
 
@@ -207,6 +255,9 @@ func Experiment(name string, appNames []string) (*Table, error) {
 		return harness.DMAComparison(), nil
 	case "congestion":
 		return harness.Congestion(), nil
+	case "loadsweep":
+		t, _ := harness.LoadSweep(harness.SweepOptions{})
+		return t, nil
 	}
 	return nil, fmt.Errorf("cni: unknown experiment %q (want one of %v)", name, ExperimentNames())
 }

@@ -139,3 +139,18 @@ func freshRun(t *testing.T, name string, cfg params.Config) Result {
 	}
 	return a.Run(cfg)
 }
+
+// TestAllToAllBackgroundOddTorusTerminates is a regression test: on
+// tori with an odd dimension (12 nodes -> 3x4) the antipode map is
+// not an involution, so a node excluded as a background sender can
+// still be another sender's target. Before orphaned targets were
+// given drain processes, that sender wedged on its window and the
+// run never terminated.
+func TestAllToAllBackgroundOddTorusTerminates(t *testing.T) {
+	t.Parallel()
+	cfg := params.Config{Nodes: 12, NI: params.NI2w, Bus: params.MemoryBus, Topology: params.TopoTorus}
+	rtt := ProbeRTT(cfg, 64, 2, 2000, BgAllToAll)
+	if rtt == 0 {
+		t.Fatal("probe measured no round trips")
+	}
+}

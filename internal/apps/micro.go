@@ -175,6 +175,8 @@ func spawnBackground(m *machine.Machine, gap int, pattern BgPattern, done *bool)
 	probeDst := ProbeDst(nodes)
 	hot := HotspotNode(nodes)
 	bgAlive := 0
+	sending := make([]bool, nodes)
+	targets := make([]int, 0, nodes)
 	if gap >= 0 {
 		for id := 1; id < nodes; id++ {
 			if id == probeDst || (pattern == BgHotspot && id == hot) {
@@ -188,6 +190,8 @@ func spawnBackground(m *machine.Machine, gap int, pattern BgPattern, done *bool)
 				}
 			}
 			m.Nodes[id].Msgr.Register(hBgSink, func(ctx *msg.Context) {})
+			sending[id] = true
+			targets = append(targets, target)
 			bgAlive++
 			m.Spawn(id, func(p *sim.Process, n *machine.Node) {
 				for !*done {
@@ -200,6 +204,23 @@ func spawnBackground(m *machine.Machine, gap int, pattern BgPattern, done *bool)
 				// sender to finish releases everyone.
 				bgAlive--
 				n.Msgr.PollUntil(p, func() bool { return bgAlive == 0 })
+			})
+		}
+		// On tori with an odd dimension the antipode map is not an
+		// involution, so a node skipped as a sender can still be some
+		// other node's target; without a drain its NI fills and that
+		// sender wedges on the window forever. Spawn a pure sink on
+		// every such orphaned target. (On even-dimensioned tori —
+		// including the 16-node harness configuration — this set is
+		// empty and the simulated schedule is untouched.)
+		for _, tgt := range targets {
+			if sending[tgt] || (pattern == BgHotspot && tgt == hot) {
+				continue
+			}
+			sending[tgt] = true // drain at most once
+			m.Nodes[tgt].Msgr.Register(hBgSink, func(ctx *msg.Context) {})
+			m.Spawn(tgt, func(p *sim.Process, n *machine.Node) {
+				n.Msgr.PollUntil(p, func() bool { return *done && bgAlive == 0 })
 			})
 		}
 	}

@@ -29,6 +29,11 @@ func goldenTables() map[string]func() *Table {
 		"fig7-memory": func() *Table { return Fig7(params.MemoryBus) },
 		"fig7-io":     func() *Table { return Fig7(params.IOBus) },
 		"fig7-alt":    Fig7Alt,
+		// The full load-sweep table (per NI × topology ladders to
+		// saturation): pins the workload/telemetry subsystem — the
+		// generators' seeded schedules, the histogram percentiles, and
+		// the knee detection — to the byte.
+		"loadsweep": func() *Table { t, _ := LoadSweep(SweepOptions{}); return t },
 	}
 }
 

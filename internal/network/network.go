@@ -45,6 +45,10 @@ type Msg struct {
 	ID uint64
 	// TotalBytes is the full user-message payload size.
 	TotalBytes int
+	// SentAt is stamped by the fabric at admission (after any
+	// sliding-window stall) and drives the delivery-latency telemetry;
+	// it costs nothing in simulated time.
+	SentAt sim.Time
 }
 
 // MsgBlocks returns the queue blocks consumed by a network message
@@ -127,6 +131,11 @@ type endpoints struct {
 	msgs         *sim.Counter
 	bytes        *sim.Counter
 	backpressure *sim.Counter
+	// deliveryHist records admission-to-acceptance latency per
+	// delivered message ("net.delivery" in Stats): transit plus any
+	// queueing at links and at the destination port. Pure telemetry —
+	// recording consumes no simulated time.
+	deliveryHist *sim.Histogram
 
 	// ackFns[slot] is the pre-built window-credit-return callback, so
 	// acking a message schedules an existing func value instead of
@@ -149,6 +158,7 @@ func (ep *endpoints) init(e *sim.Engine, st *sim.Stats, n int, ackLatency func(*
 	ep.msgs = st.Counter("net.msg")
 	ep.bytes = st.Counter("net.bytes")
 	ep.backpressure = st.Counter("net.backpressure")
+	ep.deliveryHist = st.Histogram("net.delivery")
 	ep.windowFree = make([]*sim.Cond, n*n)
 	ep.ackFns = make([]func(), n*n)
 	for i := range ep.windowFree {
@@ -184,6 +194,7 @@ func (ep *endpoints) admit(p *sim.Process, m *Msg) {
 	ep.inFlight[slot]++
 	ep.msgs.Inc()
 	ep.bytes.Add(uint64(m.Size + params.HeaderBytes))
+	m.SentAt = ep.eng.Now()
 }
 
 // arrive queues m at the destination and attempts delivery.
@@ -202,6 +213,7 @@ func (ep *endpoints) drain(dst int) {
 			return
 		}
 		ep.arrivals[dst].Pop()
+		ep.deliveryHist.Record(ep.eng.Now() - m.SentAt)
 		// Return the window credit to the sender after the ack latency.
 		ep.eng.Schedule(ep.ackLatency(m), ep.ackFns[m.Src*ep.n+m.Dst])
 	}
@@ -215,6 +227,10 @@ func (ep *endpoints) Pending(dst int) int { return ep.arrivals[dst].Len() }
 
 // InFlight reports unacked messages from src to dst (diagnostics).
 func (ep *endpoints) InFlight(src, dst int) int { return ep.inFlight[src*ep.n+dst] }
+
+// DeliveryLatency exposes the fabric's delivery-latency histogram
+// (also reachable as the "net.delivery" histogram in Stats).
+func (ep *endpoints) DeliveryLatency() *sim.Histogram { return ep.deliveryHist }
 
 // Flat is the paper's fixed-latency network (§4.1): topology is
 // ignored and transit takes a constant latency regardless of load.

@@ -8,7 +8,10 @@
 // a 50 MHz multiplexed coherent I/O bus behind an I/O bridge.
 package params
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // BusKind identifies where a network interface is attached.
 type BusKind int
@@ -85,6 +88,24 @@ func (n NIKind) String() string {
 // AllNIs lists the five designs in the paper's presentation order.
 var AllNIs = []NIKind{NI2w, CNI4, CNI16Q, CNI512Q, CNI16Qm}
 
+// niParseOrder drives both ParseNI and NINames, so the match table
+// and the valid-values message cannot drift apart.
+var niParseOrder = append(append([]NIKind{}, AllNIs...), DMA)
+
+// NINames lists the valid CLI NI design names (paper order + DMA).
+var NINames = enumNames(niParseOrder)
+
+// ParseNI resolves a CLI NI design name (case-insensitive), failing
+// with the list of valid values on a typo.
+func ParseNI(s string) (NIKind, error) {
+	for i, name := range NINames {
+		if strings.EqualFold(s, name) {
+			return niParseOrder[i], nil
+		}
+	}
+	return 0, fmt.Errorf("params: unknown NI %q (valid: %s)", s, strings.Join(NINames, ", "))
+}
+
 // Topology selects the interconnect fabric model connecting the nodes.
 type Topology int
 
@@ -109,15 +130,194 @@ func (t Topology) String() string {
 	return fmt.Sprintf("Topology(%d)", int(t))
 }
 
-// ParseTopology resolves a CLI topology name.
-func ParseTopology(s string) (Topology, error) {
-	switch s {
-	case "flat", "":
-		return TopoFlat, nil
-	case "torus":
-		return TopoTorus, nil
+// topoParseOrder drives both ParseTopology and TopologyNames, so the
+// accepted set and the valid-values message cannot drift.
+var topoParseOrder = []Topology{TopoFlat, TopoTorus}
+
+// TopologyNames lists the valid CLI topology names.
+var TopologyNames = enumNames(topoParseOrder)
+
+// enumNames renders an enum slice's String() forms (one source of
+// truth for the parse tables below).
+func enumNames[T fmt.Stringer](kinds []T) []string {
+	names := make([]string, len(kinds))
+	for i, k := range kinds {
+		names[i] = k.String()
 	}
-	return TopoFlat, fmt.Errorf("params: unknown topology %q (want flat or torus)", s)
+	return names
+}
+
+// ParseTopology resolves a CLI topology name (empty = the default
+// flat fabric), failing with the list of valid values on a typo.
+func ParseTopology(s string) (Topology, error) {
+	if s == "" {
+		return TopoFlat, nil
+	}
+	for i, name := range TopologyNames {
+		if s == name {
+			return topoParseOrder[i], nil
+		}
+	}
+	return TopoFlat, fmt.Errorf("params: unknown topology %q (valid: %s)", s, strings.Join(TopologyNames, ", "))
+}
+
+// ArrivalKind selects a traffic generator's arrival process
+// (internal/workload).
+type ArrivalKind int
+
+const (
+	// ArrivalPoisson is an open-loop Poisson process: exponentially
+	// distributed inter-arrival gaps at the configured offered load,
+	// generated regardless of completions.
+	ArrivalPoisson ArrivalKind = iota
+	// ArrivalBursty is an open-loop on/off MMPP: a two-state modulated
+	// Poisson process that sends at a peak rate during exponentially
+	// distributed ON periods and is silent during OFF periods, with the
+	// same long-run offered load as ArrivalPoisson.
+	ArrivalBursty
+	// ArrivalClosed is a closed loop: per-node request/reply clients
+	// that wait for each reply and think before the next request, so
+	// offered load self-limits with system latency.
+	ArrivalClosed
+)
+
+func (a ArrivalKind) String() string {
+	switch a {
+	case ArrivalPoisson:
+		return "poisson"
+	case ArrivalBursty:
+		return "bursty"
+	case ArrivalClosed:
+		return "closed"
+	}
+	return fmt.Sprintf("ArrivalKind(%d)", int(a))
+}
+
+// arrivalParseOrder drives both ParseArrival and ArrivalNames.
+var arrivalParseOrder = []ArrivalKind{ArrivalPoisson, ArrivalBursty, ArrivalClosed}
+
+// ArrivalNames lists the valid CLI arrival-process names.
+var ArrivalNames = enumNames(arrivalParseOrder)
+
+// ParseArrival resolves a CLI arrival-process name (empty = the
+// default Poisson process), failing with the list of valid values on
+// a typo.
+func ParseArrival(s string) (ArrivalKind, error) {
+	if s == "" {
+		return ArrivalPoisson, nil
+	}
+	for i, name := range ArrivalNames {
+		if s == name {
+			return arrivalParseOrder[i], nil
+		}
+	}
+	return ArrivalPoisson, fmt.Errorf("params: unknown arrival process %q (valid: %s)", s, strings.Join(ArrivalNames, ", "))
+}
+
+// MaxZipfS caps the destination skew: at s = 10 the hottest node
+// already draws > 99.9% of the traffic, and far beyond that the
+// float64 CDF rounds to a degenerate distribution.
+const MaxZipfS = 10
+
+// SizeWeight is one entry of a message-size mix: user messages of
+// Bytes payload drawn with probability Weight / sum(Weights).
+type SizeWeight struct {
+	Bytes  int
+	Weight int
+}
+
+// Workload configures the deterministic traffic generators
+// (internal/workload): the arrival process, the per-node offered
+// load, the Zipf destination skew, and the message-size mix. The
+// generators run as simulated processes, so a Workload composes with
+// every NI design, bus attachment, and topology.
+type Workload struct {
+	// Arrival selects the arrival process.
+	Arrival ArrivalKind
+	// Seed drives every random draw; identical seeds give
+	// byte-identical runs.
+	Seed uint64
+	// OfferedMBps is the per-node offered load in MB/s of user payload
+	// (open-loop kinds only; the closed loop self-limits).
+	OfferedMBps float64
+	// ZipfS is the destination skew: node d is drawn with probability
+	// proportional to 1/(d+1)^ZipfS, so node 0 is the hottest. 0 is
+	// uniform; Validate caps it at MaxZipfS (beyond that the CDF
+	// degenerates in float64 and every draw lands on node 0).
+	ZipfS float64
+	// Sizes is the message-size mix; empty uses DefaultWorkload's mix.
+	Sizes []SizeWeight
+	// BurstOnFrac (ArrivalBursty) is the long-run fraction of time in
+	// the ON state; the peak rate is OfferedMBps / BurstOnFrac.
+	BurstOnFrac float64
+	// BurstOnCycles (ArrivalBursty) is the mean ON-period length.
+	BurstOnCycles float64
+	// Clients (ArrivalClosed) is the number of request/reply clients
+	// per node.
+	Clients int
+	// ThinkCycles (ArrivalClosed) is the mean think time between a
+	// reply and the next request.
+	ThinkCycles int
+}
+
+// DefaultWorkload is the reference traffic spec used by the load
+// sweep: Poisson arrivals, a Zipf-hotspot destination distribution,
+// and a small/medium/fragmented size mix.
+func DefaultWorkload() Workload {
+	return Workload{
+		Arrival:       ArrivalPoisson,
+		Seed:          1,
+		OfferedMBps:   4,
+		ZipfS:         1.1,
+		Sizes:         []SizeWeight{{Bytes: 64, Weight: 6}, {Bytes: 244, Weight: 3}, {Bytes: 976, Weight: 1}},
+		BurstOnFrac:   0.25,
+		BurstOnCycles: 8192,
+		Clients:       4,
+		ThinkCycles:   2000,
+	}
+}
+
+// MeanBytes returns the mix's mean user-message payload size.
+func (w Workload) MeanBytes() float64 {
+	var bytes, weight float64
+	for _, s := range w.Sizes {
+		bytes += float64(s.Bytes) * float64(s.Weight)
+		weight += float64(s.Weight)
+	}
+	if weight == 0 {
+		return 0
+	}
+	return bytes / weight
+}
+
+// Validate reports workload-spec errors.
+func (w Workload) Validate() error {
+	if w.Arrival != ArrivalPoisson && w.Arrival != ArrivalBursty && w.Arrival != ArrivalClosed {
+		return fmt.Errorf("params: unknown arrival kind %v", w.Arrival)
+	}
+	if w.Arrival != ArrivalClosed && w.OfferedMBps <= 0 {
+		return fmt.Errorf("params: open-loop workload needs OfferedMBps > 0, have %v", w.OfferedMBps)
+	}
+	if w.ZipfS < 0 || w.ZipfS > MaxZipfS {
+		return fmt.Errorf("params: ZipfS must be in [0, %v], have %v", float64(MaxZipfS), w.ZipfS)
+	}
+	for _, s := range w.Sizes {
+		if s.Bytes <= 0 || s.Weight <= 0 {
+			return fmt.Errorf("params: size mix entries need positive bytes and weight, have %+v", s)
+		}
+	}
+	if w.Arrival == ArrivalBursty {
+		if w.BurstOnFrac <= 0 || w.BurstOnFrac > 1 {
+			return fmt.Errorf("params: BurstOnFrac must be in (0,1], have %v", w.BurstOnFrac)
+		}
+		if w.BurstOnCycles <= 0 {
+			return fmt.Errorf("params: bursty workload needs BurstOnCycles > 0, have %v", w.BurstOnCycles)
+		}
+	}
+	if w.Arrival == ArrivalClosed && w.Clients <= 0 {
+		return fmt.Errorf("params: closed-loop workload needs Clients > 0, have %d", w.Clients)
+	}
+	return nil
 }
 
 // TorusDims factors n nodes into the most nearly square W×H torus
@@ -192,11 +392,18 @@ const (
 	TorusHopLatency = 20
 	// TorusLinkOccupancy is how long one 256-byte network message
 	// holds a torus link (its serialisation time); a second message
-	// wanting the same link queues behind it. 256 cycles is a
-	// 200 MB/s link at the 200 MHz processor clock — generous for the
-	// paper's era but slow enough that converging flows contend,
-	// which is the regime the torus exists to expose.
-	TorusLinkOccupancy = 256
+	// wanting the same link queues behind it. 768 cycles is a
+	// ~66 MB/s link at the 200 MHz processor clock — still generous
+	// for the paper's era (CM-5 fat-tree links were ~20 MB/s) but
+	// slow enough that converging flows contend under *sustained*
+	// offered load, not just transient bursts: a node's two
+	// dimension-order in-links together (2 × 256 B / 768 cyc
+	// ≈ 133 MB/s) deliver below what its NI can drain, so the fabric
+	// — not the endpoint — is the first bottleneck for hotspot
+	// traffic, which is the regime the torus exists to expose (the
+	// earlier 256-cycle calibration left every 16-node workload
+	// NI-bound and the fabric irrelevant at saturation).
+	TorusLinkOccupancy = 768
 
 	// StoreBufferDepth models the processor's store buffer for posted
 	// uncached stores; MEMBAR drains it.
@@ -366,6 +573,12 @@ type Config struct {
 
 	// NI2wFIFOOverride, if nonzero, replaces NI2wFIFOMsgs.
 	NI2wFIFOOverride int
+
+	// Workload, when non-nil, attaches a traffic-generator spec for
+	// the workload/telemetry subsystem (internal/workload). nil for
+	// the paper's fixed micro/macrobenchmarks; machine construction
+	// ignores it.
+	Workload *Workload
 }
 
 // Validate reports configuration errors, including the paper's
@@ -389,6 +602,11 @@ func (c Config) Validate() error {
 	}
 	if c.Topology != TopoFlat && c.Topology != TopoTorus {
 		return fmt.Errorf("params: unknown topology %v", c.Topology)
+	}
+	if c.Workload != nil {
+		if err := c.Workload.Validate(); err != nil {
+			return err
+		}
 	}
 	return nil
 }

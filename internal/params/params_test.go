@@ -1,6 +1,9 @@
 package params
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 func TestValidateRejectsBadConfigs(t *testing.T) {
 	cases := []struct {
@@ -146,5 +149,69 @@ func TestConfigNameTopology(t *testing.T) {
 	torus.Topology = TopoTorus
 	if got := torus.Name(); got != "CNI512Q@memory+torus" {
 		t.Errorf("torus Name = %q", got)
+	}
+}
+
+func TestParseNI(t *testing.T) {
+	for _, name := range NINames {
+		kind, err := ParseNI(name)
+		if err != nil {
+			t.Errorf("ParseNI(%q): %v", name, err)
+		}
+		if kind.String() != name {
+			t.Errorf("ParseNI(%q) = %v", name, kind)
+		}
+		// Case-insensitive, like the CLI has always accepted.
+		if lower, err := ParseNI(strings.ToLower(name)); err != nil || lower != kind {
+			t.Errorf("ParseNI(%q) case-folding failed", strings.ToLower(name))
+		}
+
+	}
+	if _, err := ParseNI("cni512q"); err != nil {
+		t.Errorf("lower-case name rejected: %v", err)
+	}
+	if _, err := ParseNI("CNI1024Q"); err == nil {
+		t.Error("bogus NI accepted")
+	}
+}
+
+func TestWorkloadValidate(t *testing.T) {
+	ok := DefaultWorkload()
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("default workload invalid: %v", err)
+	}
+	cases := []struct {
+		name string
+		mod  func(*Workload)
+	}{
+		{"zero open-loop rate", func(w *Workload) { w.OfferedMBps = 0 }},
+		{"negative zipf", func(w *Workload) { w.ZipfS = -1 }},
+		{"degenerate zipf", func(w *Workload) { w.ZipfS = MaxZipfS + 1 }},
+		{"bad size entry", func(w *Workload) { w.Sizes = []SizeWeight{{Bytes: 0, Weight: 1}} }},
+		{"bursty zero on-frac", func(w *Workload) { w.Arrival = ArrivalBursty; w.BurstOnFrac = 0 }},
+		{"bursty zero on-cycles", func(w *Workload) { w.Arrival = ArrivalBursty; w.BurstOnCycles = 0 }},
+		{"closed zero clients", func(w *Workload) { w.Arrival = ArrivalClosed; w.Clients = 0 }},
+	}
+	for _, c := range cases {
+		w := DefaultWorkload()
+		c.mod(&w)
+		if err := w.Validate(); err == nil {
+			t.Errorf("%s: expected a validation error", c.name)
+		}
+	}
+}
+
+func TestParseArrival(t *testing.T) {
+	for _, name := range ArrivalNames {
+		kind, err := ParseArrival(name)
+		if err != nil || kind.String() != name {
+			t.Errorf("ParseArrival(%q) = %v, %v", name, kind, err)
+		}
+	}
+	if kind, err := ParseArrival(""); err != nil || kind != ArrivalPoisson {
+		t.Error("empty arrival should default to poisson")
+	}
+	if _, err := ParseArrival("burst"); err == nil {
+		t.Error("bogus arrival accepted")
 	}
 }

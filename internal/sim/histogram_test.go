@@ -1,0 +1,109 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHistogramExactSmallValues(t *testing.T) {
+	var h Histogram
+	for v := Time(0); v < histLinear; v++ {
+		h.Record(v)
+	}
+	if h.Count() != histLinear {
+		t.Fatalf("count = %d, want %d", h.Count(), histLinear)
+	}
+	if h.Min() != 0 || h.Max() != histLinear-1 {
+		t.Fatalf("min/max = %d/%d, want 0/%d", h.Min(), h.Max(), histLinear-1)
+	}
+	// Values below histLinear land in exact buckets, so quantiles of a
+	// uniform 0..15 population are exact.
+	if got := h.Quantile(0.5); got != 8 {
+		t.Errorf("p50 = %d, want 8", got)
+	}
+	if got := h.Quantile(1); got != histLinear-1 {
+		t.Errorf("p100 = %d, want %d", got, histLinear-1)
+	}
+}
+
+// TestHistogramQuantileErrorBound checks the documented 1/histLinear
+// relative error across magnitudes.
+func TestHistogramQuantileErrorBound(t *testing.T) {
+	for _, v := range []Time{17, 100, 1000, 12345, 1 << 20, 1<<40 + 12345} {
+		var h Histogram
+		h.Record(v)
+		got := h.Quantile(0.99)
+		err := math.Abs(float64(got)-float64(v)) / float64(v)
+		if err > 1.0/histLinear {
+			t.Errorf("value %d: p99 = %d, relative error %.4f > %.4f", v, got, err, 1.0/histLinear)
+		}
+	}
+}
+
+func TestHistogramBucketBoundsRoundTrip(t *testing.T) {
+	for _, v := range []uint64{0, 1, 15, 16, 17, 31, 32, 100, 1023, 1024, 1 << 30, 1<<63 + 5} {
+		i := bucketIndex(v)
+		lo, hi := bucketBounds(i)
+		if v < lo || v >= hi {
+			t.Errorf("value %d maps to bucket %d with bounds [%d,%d)", v, i, lo, hi)
+		}
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b, whole Histogram
+	for v := Time(1); v <= 1000; v++ {
+		whole.Record(v)
+		if v%2 == 0 {
+			a.Record(v)
+		} else {
+			b.Record(v)
+		}
+	}
+	a.Merge(&b)
+	if a != whole {
+		t.Fatal("merged histogram differs from the directly recorded one")
+	}
+	if a.Mean() != whole.Mean() || a.Quantile(0.999) != whole.Quantile(0.999) {
+		t.Fatal("merged summary statistics differ")
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+}
+
+// TestHistogramRecordZeroAlloc pins the per-message telemetry path at
+// zero allocations (the issue's contract: Record sits on the message
+// timestamp path of every fabric delivery).
+func TestHistogramRecordZeroAlloc(t *testing.T) {
+	var h Histogram
+	v := Time(1)
+	allocs := testing.AllocsPerRun(1000, func() {
+		h.Record(v)
+		v = v*7 + 3
+	})
+	if allocs != 0 {
+		t.Errorf("Histogram.Record allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+func TestStatsHistogramInterning(t *testing.T) {
+	e := NewEngine()
+	s := NewStats(e)
+	h1 := s.Histogram("lat")
+	h2 := s.Histogram("lat")
+	if h1 != h2 {
+		t.Fatal("Histogram should intern by name")
+	}
+	h1.Record(5)
+	if s.Histogram("lat").Count() != 1 {
+		t.Fatal("recorded observation lost")
+	}
+	if got := s.Histograms(); len(got) != 1 || got[0] != "lat" {
+		t.Fatalf("Histograms() = %v", got)
+	}
+}

@@ -36,6 +36,7 @@ type Stats struct {
 	eng      *Engine
 	counters map[string]*Counter
 	busy     map[string]*BusyTracker
+	hists    map[string]*Histogram
 }
 
 // NewStats returns an empty Stats bound to the engine's clock.
@@ -44,6 +45,7 @@ func NewStats(e *Engine) *Stats {
 		eng:      e,
 		counters: make(map[string]*Counter),
 		busy:     make(map[string]*BusyTracker),
+		hists:    make(map[string]*Histogram),
 	}
 }
 
@@ -90,6 +92,28 @@ func (s *Stats) Busy(name string) *BusyTracker {
 		s.busy[name] = b
 	}
 	return b
+}
+
+// Histogram returns (creating if needed) the interned latency
+// histogram for name. As with Counter, hot paths resolve the handle
+// once and Record through the pointer.
+func (s *Stats) Histogram(name string) *Histogram {
+	h, ok := s.hists[name]
+	if !ok {
+		h = &Histogram{}
+		s.hists[name] = h
+	}
+	return h
+}
+
+// Histograms returns the histogram names in sorted order.
+func (s *Stats) Histograms() []string {
+	names := make([]string, 0, len(s.hists))
+	for n := range s.hists {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // String renders the counters, one per line, for debugging.

@@ -1,0 +1,409 @@
+// Package workload generates deterministic offered-load traffic on
+// the simulated machine and measures how the system responds — the
+// regime the paper's fixed micro/macrobenchmarks never enter.
+//
+// Generators run as ordinary simulated processes on top of the
+// user-level messaging layer (internal/msg), so every arrival process
+// composes with all five NI designs, the DMA comparator, every bus
+// attachment, and both interconnect fabrics. Three arrival processes
+// are modelled (params.ArrivalKind):
+//
+//   - open-loop Poisson: exponential inter-arrival gaps at a
+//     configured per-node offered load, generated regardless of
+//     completions — the process that exposes saturation;
+//   - open-loop bursty (on/off MMPP): Poisson at a peak rate during
+//     exponentially distributed ON periods, silent during OFF, same
+//     long-run load;
+//   - closed-loop: request/reply clients with think time, whose
+//     offered load self-limits with system latency.
+//
+// Destinations are drawn from a Zipf distribution (node 0 hottest),
+// sizes from a configurable mix. All randomness comes from one seed,
+// and the measurement itself is free in simulated time, so a run is
+// byte-for-byte reproducible.
+//
+// Latency telemetry is coordinated-omission-free: for the open loops
+// each message is timed from its *intended* arrival instant (not from
+// when a backlogged sender finally issued it) to handler dispatch at
+// the destination, so sender-side queueing under overload shows up in
+// the tail instead of vanishing. Closed-loop latency is the client's
+// request/reply round trip.
+package workload
+
+import (
+	"math"
+
+	"repro/internal/apps"
+	"repro/internal/machine"
+	"repro/internal/msg"
+	"repro/internal/params"
+	"repro/internal/sim"
+)
+
+// Workload-private active-message handler ids.
+const (
+	hOpen = 400 + iota // open-loop sink
+	hReq               // closed-loop request
+	hRep               // closed-loop reply
+)
+
+const (
+	// pollQuantum is how long an idle open-loop node sleeps between
+	// receive-drain passes; it bounds both the added delivery latency
+	// and the event count of an idle node.
+	pollQuantum = 256
+	// serviceCycles is the receiver's per-message bookkeeping beyond
+	// reading the payload (mirrors the bandwidth microbenchmark).
+	serviceCycles = 40
+	// replyBytes is the closed-loop reply payload.
+	replyBytes = 64
+)
+
+// Report is one measured workload run.
+type Report struct {
+	// OfferedMBps is the aggregate offered load (nodes × per-node);
+	// for the closed loop, which self-limits, it equals GoodputMBps.
+	OfferedMBps float64
+	// GoodputMBps is the aggregate user payload delivered inside the
+	// measurement window.
+	GoodputMBps float64
+	// Sent and Delivered count user messages over the whole run
+	// (including warm-up; under overload Delivered lags Sent).
+	Sent, Delivered uint64
+	// Latency is the end-to-end latency distribution in cycles,
+	// merged across nodes, measurement window only. Open loop:
+	// intended-arrival to handler dispatch; closed loop: request to
+	// reply dispatch.
+	Latency sim.Histogram
+	// NetDelivery is the fabric's own admission-to-delivery histogram
+	// ("net.delivery"), whole run — the network-layer view under the
+	// same load.
+	NetDelivery sim.Histogram
+}
+
+// gen is one node's arrival-process state. Its sampling methods are
+// the steady-state arrival path and must not allocate.
+type gen struct {
+	rng     *apps.Rand
+	bursty  bool
+	meanGap float64 // long-run cycles between arrivals
+	peakGap float64 // bursty: gap during an ON period
+	meanOn  float64 // bursty: mean ON length
+	meanOff float64 // bursty: mean OFF length
+	onLeft  float64 // bursty: remaining ON time
+	think   float64 // closed loop: mean think time
+
+	dstCDF  []float64 // shared cumulative destination weights
+	sizes   []params.SizeWeight
+	sizeSum int
+}
+
+// exp draws an exponential variate with the given mean.
+func (g *gen) exp(mean float64) float64 {
+	return -mean * math.Log(1-g.rng.Float())
+}
+
+// nextGap samples the next inter-arrival gap (≥ 1 cycle).
+func (g *gen) nextGap() sim.Time {
+	var gap float64
+	if !g.bursty {
+		gap = g.exp(g.meanGap)
+	} else {
+		for {
+			d := g.exp(g.peakGap)
+			if d <= g.onLeft {
+				g.onLeft -= d
+				gap += d
+				break
+			}
+			// Burn the rest of the ON period, sit out an OFF period,
+			// and start a fresh ON period.
+			gap += g.onLeft + g.exp(g.meanOff)
+			g.onLeft = g.exp(g.meanOn)
+		}
+	}
+	if gap < 1 {
+		return 1
+	}
+	return sim.Time(gap)
+}
+
+// pickDst draws a Zipf destination, excluding self by rejection. The
+// retry bound guards against a degenerate CDF (params.MaxZipfS keeps
+// the distribution sane, but a sampler must not be able to hang): if
+// every draw lands on self, fall back to the next-hottest node.
+func (g *gen) pickDst(self int) int {
+	for tries := 0; tries < 64; tries++ {
+		u := g.rng.Float()
+		// Binary search the shared CDF.
+		lo, hi := 0, len(g.dstCDF)-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if g.dstCDF[mid] <= u {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo != self {
+			return lo
+		}
+	}
+	return (self + 1) % len(g.dstCDF)
+}
+
+// pickSize draws a payload size from the mix.
+func (g *gen) pickSize() int {
+	w := g.rng.Intn(g.sizeSum)
+	for _, s := range g.sizes {
+		w -= s.Weight
+		if w < 0 {
+			return s.Bytes
+		}
+	}
+	return g.sizes[len(g.sizes)-1].Bytes
+}
+
+// run holds one measurement's shared state.
+type run struct {
+	m       *machine.Machine
+	wl      params.Workload
+	n       int
+	gens    []*gen
+	warmEnd sim.Time
+	endAt   sim.Time
+
+	// stamps[src*n+dst] carries intended-arrival timestamps from the
+	// open-loop sender to the destination's handler. Per-(src,dst)
+	// delivery is FIFO end to end (FIFO fabrics, in-order reassembly),
+	// so a queue is enough — and it allocates nothing in steady state.
+	stamps []sim.FIFO[sim.Time]
+	hists  []sim.Histogram
+
+	sent      uint64
+	delivered uint64
+	winBytes  uint64
+}
+
+// zipfCDF builds the cumulative destination distribution: node d has
+// weight 1/(d+1)^s.
+func zipfCDF(n int, s float64) []float64 {
+	w := make([]float64, n)
+	var total float64
+	for d := 0; d < n; d++ {
+		w[d] = math.Pow(float64(d+1), -s)
+		total += w[d]
+	}
+	var cum float64
+	for d := 0; d < n; d++ {
+		cum += w[d] / total
+		w[d] = cum
+	}
+	w[n-1] = 1 // guard against rounding
+	return w
+}
+
+// newRun builds the machine and per-node generators.
+func newRun(cfg params.Config, warm, measure sim.Time) *run {
+	wl := params.DefaultWorkload()
+	if cfg.Workload != nil {
+		wl = *cfg.Workload
+	}
+	if len(wl.Sizes) == 0 {
+		wl.Sizes = params.DefaultWorkload().Sizes
+	}
+	if err := wl.Validate(); err != nil {
+		panic(err)
+	}
+	r := &run{
+		m:       machine.New(cfg),
+		wl:      wl,
+		n:       cfg.Nodes,
+		warmEnd: warm,
+		endAt:   warm + measure,
+	}
+	r.stamps = make([]sim.FIFO[sim.Time], r.n*r.n)
+	r.hists = make([]sim.Histogram, r.n)
+	cdf := zipfCDF(r.n, wl.ZipfS)
+	sizeSum := 0
+	for _, s := range wl.Sizes {
+		sizeSum += s.Weight
+	}
+	// Per-node mean inter-arrival gap from the offered load:
+	// bytes/cycle = MB/s ÷ CPUMHz.
+	meanGap := wl.MeanBytes() * params.CPUMHz / wl.OfferedMBps
+	for id := 0; id < r.n; id++ {
+		g := &gen{
+			rng:     apps.NewRand(wl.Seed ^ uint64(id+1)*0x9E3779B97F4A7C15),
+			bursty:  wl.Arrival == params.ArrivalBursty,
+			meanGap: meanGap,
+			think:   float64(wl.ThinkCycles),
+			dstCDF:  cdf,
+			sizes:   wl.Sizes,
+			sizeSum: sizeSum,
+		}
+		if g.bursty {
+			g.peakGap = meanGap * wl.BurstOnFrac
+			g.meanOn = wl.BurstOnCycles
+			g.meanOff = wl.BurstOnCycles * (1 - wl.BurstOnFrac) / wl.BurstOnFrac
+			g.onLeft = g.exp(g.meanOn)
+		}
+		r.gens = append(r.gens, g)
+	}
+	return r
+}
+
+// Run executes cfg's workload (cfg.Workload; nil uses
+// params.DefaultWorkload) for warm + measure cycles and reports
+// goodput and latency telemetry from the measurement window. The run
+// is stopped at the horizon — under overload, backlogged messages
+// simply never count — so a run's cost is bounded no matter how far
+// past saturation the offered load is.
+func Run(cfg params.Config, warm, measure sim.Time) Report {
+	r := newRun(cfg, warm, measure)
+	defer r.m.Stop()
+	if r.wl.Arrival == params.ArrivalClosed {
+		r.spawnClosed()
+	} else {
+		r.spawnOpen()
+	}
+	r.m.Run(r.endAt)
+
+	rep := Report{
+		OfferedMBps: r.wl.OfferedMBps * float64(r.n),
+		Sent:        r.sent,
+		Delivered:   r.delivered,
+		GoodputMBps: float64(r.winBytes) * params.CPUMHz / float64(r.endAt-r.warmEnd),
+		NetDelivery: *r.m.Stats.Histogram("net.delivery"),
+	}
+	for id := range r.hists {
+		rep.Latency.Merge(&r.hists[id])
+	}
+	if r.wl.Arrival == params.ArrivalClosed {
+		rep.OfferedMBps = rep.GoodputMBps
+	}
+	return rep
+}
+
+// spawnOpen starts one open-loop process per node: it emits requests
+// on its arrival schedule and drains arrivals between them.
+func (r *run) spawnOpen() {
+	for id := 0; id < r.n; id++ {
+		at := id
+		r.m.Nodes[id].Msgr.Register(hOpen, func(ctx *msg.Context) {
+			// Consume the payload (the data ends up used in the
+			// receiver's cache, as in the bandwidth microbenchmark).
+			ctx.CPU.LoadRange(ctx.P, machine.UserBase+0x4000, ctx.Size)
+			ctx.CPU.Compute(ctx.P, serviceCycles)
+			intended := r.stamps[ctx.Src*r.n+at].Pop()
+			r.delivered++
+			now := ctx.P.Now()
+			if now > r.warmEnd {
+				r.hists[at].Record(now - intended)
+				r.winBytes += uint64(ctx.Size)
+			}
+		})
+	}
+	for id := 0; id < r.n; id++ {
+		self := id
+		g := r.gens[id]
+		r.m.Spawn(id, func(p *sim.Process, nd *machine.Node) {
+			next := p.Now() + g.nextGap()
+			for p.Now() < r.endAt {
+				if p.Now() >= next {
+					dst := g.pickDst(self)
+					size := g.pickSize()
+					r.stamps[self*r.n+dst].Push(next)
+					r.sent++
+					nd.Msgr.Send(p, dst, hOpen, size, nil)
+					next += g.nextGap()
+					continue
+				}
+				nd.Msgr.DrainAvailable(p)
+				wait := next - p.Now()
+				if wait > pollQuantum {
+					wait = pollQuantum
+				}
+				if wait > 0 {
+					p.Sleep(wait)
+				}
+			}
+		})
+	}
+}
+
+// clientSlot is one closed-loop client session. The request carries
+// the pointer and the server echoes it back, routing the reply to
+// the right session; the node's single process multiplexes all of
+// its sessions, because the machine model has one processor context
+// per node (the NI software protocols are not reentrant).
+type clientSlot struct {
+	start   sim.Time
+	readyAt sim.Time // think-time expiry for the next request
+	pending bool
+}
+
+// spawnClosed starts the closed-loop servers and client multiplexers.
+func (r *run) spawnClosed() {
+	for id := 0; id < r.n; id++ {
+		at := id
+		g := r.gens[id]
+		r.m.Nodes[id].Msgr.Register(hReq, func(ctx *msg.Context) {
+			ctx.CPU.LoadRange(ctx.P, machine.UserBase+0x4000, ctx.Size)
+			ctx.CPU.Compute(ctx.P, serviceCycles)
+			r.delivered++
+			if ctx.P.Now() > r.warmEnd {
+				r.winBytes += uint64(ctx.Size)
+			}
+			ctx.M.Send(ctx.P, ctx.Src, hRep, replyBytes, ctx.Payload)
+		})
+		r.m.Nodes[id].Msgr.Register(hRep, func(ctx *msg.Context) {
+			sl := ctx.Payload.(*clientSlot)
+			sl.pending = false
+			now := ctx.P.Now()
+			if now > r.warmEnd {
+				r.hists[at].Record(now - sl.start)
+			}
+			sl.readyAt = now + sim.Time(g.exp(g.think)) + 1
+		})
+	}
+	for id := 0; id < r.n; id++ {
+		self := id
+		g := r.gens[id]
+		r.m.Spawn(id, func(p *sim.Process, nd *machine.Node) {
+			slots := make([]*clientSlot, r.wl.Clients)
+			for i := range slots {
+				slots[i] = &clientSlot{}
+			}
+			for p.Now() < r.endAt {
+				issued := false
+				for _, sl := range slots {
+					if !sl.pending && p.Now() >= sl.readyAt {
+						sl.start = p.Now()
+						sl.pending = true
+						r.sent++
+						nd.Msgr.Send(p, g.pickDst(self), hReq, g.pickSize(), sl)
+						issued = true
+					}
+				}
+				if nd.Msgr.DrainAvailable(p) > 0 || issued {
+					continue
+				}
+				// Every session is thinking or awaiting a reply: sleep
+				// to the next think expiry, bounded by the poll quantum
+				// so pending replies are still drained promptly.
+				wait := sim.Time(pollQuantum)
+				for _, sl := range slots {
+					if !sl.pending && sl.readyAt > p.Now() {
+						if d := sl.readyAt - p.Now(); d < wait {
+							wait = d
+						}
+					}
+				}
+				if wait > 0 {
+					p.Sleep(wait)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,189 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/params"
+	"repro/internal/sim"
+)
+
+func openCfg(arrival params.ArrivalKind, topo params.Topology, mbps float64) params.Config {
+	wl := params.DefaultWorkload()
+	wl.Arrival = arrival
+	wl.OfferedMBps = mbps
+	return params.Config{Nodes: 16, NI: params.CNI16Q, Bus: params.MemoryBus, Topology: topo, Workload: &wl}
+}
+
+// TestRunDeterministic pins the subsystem's core contract: a fixed
+// seed reproduces the run bit for bit, including every histogram
+// bucket.
+func TestRunDeterministic(t *testing.T) {
+	t.Parallel()
+	for _, arrival := range []params.ArrivalKind{params.ArrivalPoisson, params.ArrivalBursty, params.ArrivalClosed} {
+		cfg := openCfg(arrival, params.TopoTorus, 6)
+		a := Run(cfg, 10_000, 30_000)
+		b := Run(cfg, 10_000, 30_000)
+		if a != b {
+			t.Errorf("%v: two identical runs differ:\n  a: %+v\n  b: %+v", arrival, a.Latency.String(), b.Latency.String())
+		}
+		if a.Latency.Count() == 0 {
+			t.Errorf("%v: no latency samples recorded", arrival)
+		}
+		if a.GoodputMBps <= 0 {
+			t.Errorf("%v: no goodput measured", arrival)
+		}
+	}
+}
+
+// TestSeedChangesSchedule guards against the seed being ignored.
+func TestSeedChangesSchedule(t *testing.T) {
+	t.Parallel()
+	cfg := openCfg(params.ArrivalPoisson, params.TopoFlat, 6)
+	a := Run(cfg, 10_000, 30_000)
+	wl2 := *cfg.Workload
+	wl2.Seed = 99
+	cfg.Workload = &wl2
+	b := Run(cfg, 10_000, 30_000)
+	if a == b {
+		t.Fatal("different seeds produced identical runs")
+	}
+}
+
+// TestOpenLoopComposesEverywhere smoke-tests the generator over every
+// NI design (including DMA) on both fabrics.
+func TestOpenLoopComposesEverywhere(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("composition sweep in -short mode")
+	}
+	nis := append(append([]params.NIKind{}, params.AllNIs...), params.DMA)
+	for _, ni := range nis {
+		for _, topo := range []params.Topology{params.TopoFlat, params.TopoTorus} {
+			wl := params.DefaultWorkload()
+			wl.OfferedMBps = 4
+			cfg := params.Config{Nodes: 16, NI: ni, Bus: params.MemoryBus, Topology: topo, Workload: &wl}
+			rep := Run(cfg, 10_000, 30_000)
+			if rep.Delivered == 0 || rep.Latency.Count() == 0 {
+				t.Errorf("%s/%s: no traffic delivered (sent %d, delivered %d)", ni, topo, rep.Sent, rep.Delivered)
+			}
+		}
+	}
+}
+
+// TestClosedLoopSelfLimits: closed-loop offered load equals goodput
+// and grows with the client population.
+func TestClosedLoopSelfLimits(t *testing.T) {
+	t.Parallel()
+	run := func(clients int) Report {
+		wl := params.DefaultWorkload()
+		wl.Arrival = params.ArrivalClosed
+		wl.Clients = clients
+		cfg := params.Config{Nodes: 16, NI: params.CNI512Q, Bus: params.MemoryBus, Workload: &wl}
+		return Run(cfg, 10_000, 40_000)
+	}
+	one, four := run(1), run(4)
+	if one.OfferedMBps != one.GoodputMBps {
+		t.Errorf("closed loop should self-limit: offered %v != goodput %v", one.OfferedMBps, one.GoodputMBps)
+	}
+	if four.GoodputMBps <= one.GoodputMBps {
+		t.Errorf("4 clients/node should outrun 1: %v <= %v", four.GoodputMBps, one.GoodputMBps)
+	}
+}
+
+// TestBurstyMatchesLongRunRate: the MMPP's long-run offered load
+// matches Poisson's within sampling noise, while its burstiness
+// inflates the latency tail at equal load.
+func TestBurstyMatchesLongRunRate(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("long windows in -short mode")
+	}
+	pois := Run(openCfg(params.ArrivalPoisson, params.TopoFlat, 4), 20_000, 400_000)
+	burst := Run(openCfg(params.ArrivalBursty, params.TopoFlat, 4), 20_000, 400_000)
+	lo, hi := 0.7*pois.GoodputMBps, 1.3*pois.GoodputMBps
+	if burst.GoodputMBps < lo || burst.GoodputMBps > hi {
+		t.Errorf("bursty long-run goodput %v outside [%v, %v] of poisson's", burst.GoodputMBps, lo, hi)
+	}
+	if burst.Latency.Quantile(0.99) <= pois.Latency.Quantile(0.99) {
+		t.Errorf("bursty p99 %d should exceed poisson p99 %d at equal load",
+			burst.Latency.Quantile(0.99), pois.Latency.Quantile(0.99))
+	}
+}
+
+// TestZipfSkewConcentratesTraffic: with a strong skew the hot node
+// receives a disproportionate share.
+func TestZipfSkewConcentratesTraffic(t *testing.T) {
+	t.Parallel()
+	cdf := zipfCDF(16, 1.1)
+	if cdf[15] != 1 {
+		t.Fatalf("CDF must end at 1, got %v", cdf[15])
+	}
+	hotShare := cdf[0]
+	if hotShare < 0.25 || hotShare > 0.45 {
+		t.Errorf("Zipf(1.1) hot share = %v, want ~0.34", hotShare)
+	}
+	uniform := zipfCDF(16, 0)
+	if uniform[0] < 0.06 || uniform[0] > 0.07 {
+		t.Errorf("Zipf(0) should be uniform, first share = %v", uniform[0])
+	}
+}
+
+// TestGeneratorArrivalPathZeroAlloc pins the steady-state arrival
+// path — gap sampling, destination pick, size pick, and the
+// timestamp queue — at zero allocations, extending the PR 1/2 alloc
+// sweep to the new subsystem.
+func TestGeneratorArrivalPathZeroAlloc(t *testing.T) {
+	wl := params.DefaultWorkload()
+	g := &gen{
+		rng:     apps.NewRand(7),
+		meanGap: 1500,
+		dstCDF:  zipfCDF(16, wl.ZipfS),
+		sizes:   wl.Sizes,
+		sizeSum: 10,
+	}
+	var stamps sim.FIFO[sim.Time]
+	// Warm the FIFO to steady-state capacity.
+	for i := 0; i < 64; i++ {
+		stamps.Push(sim.Time(i))
+	}
+	for stamps.Len() > 0 {
+		stamps.Pop()
+	}
+	sink := 0
+	allocs := testing.AllocsPerRun(1000, func() {
+		stamps.Push(g.nextGap())
+		sink += g.pickDst(3) + g.pickSize()
+		stamps.Pop()
+	})
+	if allocs != 0 {
+		t.Errorf("poisson arrival path allocates %.1f objects/op, want 0", allocs)
+	}
+	g.bursty = true
+	g.peakGap = 300
+	g.meanOn = 4000
+	g.meanOff = 12000
+	allocs = testing.AllocsPerRun(1000, func() {
+		stamps.Push(g.nextGap())
+		stamps.Pop()
+	})
+	if allocs != 0 {
+		t.Errorf("bursty arrival path allocates %.1f objects/op, want 0", allocs)
+	}
+	_ = sink
+}
+
+// TestNetDeliveryTelemetry: the fabric-level histogram sees every
+// delivered network message.
+func TestNetDeliveryTelemetry(t *testing.T) {
+	t.Parallel()
+	rep := Run(openCfg(params.ArrivalPoisson, params.TopoTorus, 6), 10_000, 30_000)
+	if rep.NetDelivery.Count() == 0 {
+		t.Fatal("net.delivery histogram recorded nothing")
+	}
+	// Fabric delivery latency on the torus is at least one hop's
+	// serialisation + wire time.
+	if min := rep.NetDelivery.Min(); min < params.TorusHopLatency {
+		t.Errorf("torus delivery min %d below a single hop latency", min)
+	}
+}
