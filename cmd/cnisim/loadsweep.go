@@ -1,11 +1,8 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
-	"os"
-	"strings"
 
 	cni "repro"
 	"repro/internal/harness"
@@ -22,9 +19,12 @@ func runLoadSweep(args []string) error {
 	ni := fs.String("ni", "", "restrict to one NI design (default: the five paper NIs + DMA)")
 	topology := fs.String("topology", "", "restrict to one fabric (default: flat and torus)")
 	seed := fs.Uint64("seed", 0, "workload seed (0 = default)")
-	jsonOut := fs.String("json", "", "write machine-readable sweep rows (JSON) to this path")
-	csvOut := fs.String("csv", "", "write the sweep summary (CSV) to this path")
+	jsonOut, csvOut := exportFlags(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	// Flag conflicts fail before the multi-minute sweep.
+	if err := validateExport(*jsonOut, *csvOut); err != nil {
 		return err
 	}
 	ak, err := cni.ParseArrival(*arrival)
@@ -59,41 +59,11 @@ func runLoadSweep(args []string) error {
 		return runLoadPoint(opt, *load)
 	}
 	t, rows := cni.LoadSweep(opt)
-	fmt.Print(t.String())
-	if *jsonOut != "" {
-		data, err := json.MarshalIndent(rows, "", "  ")
-		if err != nil {
-			return err
-		}
-		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
-			return err
-		}
-		fmt.Printf("wrote %s\n", *jsonOut)
-	}
-	if *csvOut != "" {
-		if err := os.WriteFile(*csvOut, []byte(sweepCSV(rows)), 0o644); err != nil {
-			return err
-		}
-		fmt.Printf("wrote %s\n", *csvOut)
-	}
-	return nil
-}
-
-// sweepCSV renders the sweep summary rows as CSV.
-func sweepCSV(rows []cni.SweepRow) string {
-	var b strings.Builder
-	b.WriteString("ni,topology,saturation_mbps,knee_offered_mbps," +
-		"p50_us_30,p99_us_30,p999_us_30," +
-		"p50_us_60,p99_us_60,p999_us_60," +
-		"p50_us_90,p99_us_90,p999_us_90\n")
-	for _, r := range rows {
-		fmt.Fprintf(&b, "%s,%s,%.1f,%.1f", r.NI, r.Topology, r.SaturationMBps, r.KneeOfferedMBps)
-		for _, pt := range r.AtFrac {
-			fmt.Fprintf(&b, ",%.1f,%.1f,%.1f", pt.P50Us, pt.P99Us, pt.P999Us)
-		}
-		b.WriteString("\n")
-	}
-	return b.String()
+	printTable(t, *jsonOut, *csvOut)
+	// The sweep's Data carries the CSV summary schema as its grid and
+	// the full per-NI ladders under Extra, so the uniform --json/--csv
+	// exporters cover both the summary and the detailed telemetry.
+	return export(harness.SweepData(t, rows), *jsonOut, *csvOut)
 }
 
 // runLoadPoint measures one offered-load point with full percentile

@@ -26,6 +26,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -51,7 +52,7 @@ func main() {
 const usageText = `usage: cnisim <command> [flags]
 
 commands:
-  list              list experiments
+  list              list experiments (--json: the registry with titles and tags)
   table1..table4    the paper's tables
   fig6|fig7|fig8    the paper's figures (--bus=memory|io|alt)
   occupancy         §5.2 memory-bus occupancy (--apps=...)
@@ -60,7 +61,7 @@ commands:
   dma               CNI vs user-level-DMA comparison
   congestion        probe RTT/bandwidth under load, flat vs torus
   loadsweep         offered-load sweep to saturation with tail-latency telemetry
-                    (--arrival --zipf --ni --topology --seed --json --csv;
+                    (--arrival --zipf --ni --topology --seed;
                     --load=MB/s per node measures one point instead)
   latency           one 2-node round-trip measurement (--ni --bus --size --topology)
   bandwidth         one 2-node bandwidth measurement (--ni --bus --size --topology)
@@ -72,7 +73,10 @@ commands:
 
 flags:
   --topology=flat|torus           interconnect fabric (default flat, the paper's model)
-  --arrival=poisson|bursty|closed workload arrival process (loadsweep)`
+  --arrival=poisson|bursty|closed workload arrival process (loadsweep)
+  --json=path  --csv=path         machine-readable export, uniform across every
+                                  experiment command ("-" writes to stdout and
+                                  suppresses the human-readable table)`
 
 func usage() {
 	fmt.Fprintln(os.Stderr, usageText)
@@ -81,16 +85,20 @@ func usage() {
 func run(cmd string, args []string) error {
 	switch cmd {
 	case "list":
-		for _, n := range cni.ExperimentNames() {
-			fmt.Println(n)
+		return runList(args)
+	case "table1", "table2", "table3", "table4",
+		"ablation", "sweep", "dma", "congestion":
+		fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+		jsonOut, csvOut := exportFlags(fs)
+		if err := fs.Parse(args); err != nil {
+			return err
 		}
-		return nil
-	case "table1", "table2", "table3", "table4":
-		return show(cmd, nil)
+		return show(cmd, nil, *jsonOut, *csvOut)
 	case "fig6", "fig7", "fig8", "occupancy":
 		fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 		bus := fs.String("bus", "memory", "memory, io, or alt")
 		appList := fs.String("apps", "", "comma-separated benchmark subset")
+		jsonOut, csvOut := exportFlags(fs)
 		if err := fs.Parse(args); err != nil {
 			return err
 		}
@@ -98,15 +106,7 @@ func run(cmd string, args []string) error {
 		if cmd != "occupancy" {
 			name = cmd + "-" + *bus
 		}
-		return show(name, splitApps(*appList))
-	case "ablation":
-		return show("ablation", nil)
-	case "sweep":
-		return show("sweep", nil)
-	case "dma":
-		return show("dma", nil)
-	case "congestion":
-		return show("congestion", nil)
+		return show(name, splitApps(*appList), *jsonOut, *csvOut)
 	case "latency", "bandwidth", "incast", "exchange":
 		return runMicro(cmd, args)
 	case "loadsweep":
@@ -117,7 +117,7 @@ func run(cmd string, args []string) error {
 		return runBenchJSON(args)
 	case "all":
 		for _, n := range cni.ExperimentNames() {
-			if err := show(n, nil); err != nil {
+			if err := show(n, nil, "", ""); err != nil {
 				return err
 			}
 			fmt.Println()
@@ -129,12 +129,108 @@ func run(cmd string, args []string) error {
 	}
 }
 
-func show(name string, apps []string) error {
-	t, err := cni.Experiment(name, apps)
+// runList prints the experiment names, or the full registry (name,
+// title, tags) as JSON with --json.
+func runList(args []string) error {
+	fs := flag.NewFlagSet("list", flag.ExitOnError)
+	asJSON := fs.Bool("json", false, "emit the registry (name, title, tags) as JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if !*asJSON {
+		for _, n := range cni.ExperimentNames() {
+			fmt.Println(n)
+		}
+		return nil
+	}
+	type entry struct {
+		Name  string   `json:"name"`
+		Title string   `json:"title"`
+		Tags  []string `json:"tags"`
+	}
+	out := make([]entry, 0, len(cni.Experiments()))
+	for _, e := range cni.Experiments() {
+		out = append(out, entry{Name: e.Name, Title: e.Title, Tags: e.Tags})
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
 		return err
 	}
+	fmt.Println(string(data))
+	return nil
+}
+
+// exportFlags installs the uniform machine-readable export flags.
+func exportFlags(fs *flag.FlagSet) (jsonOut, csvOut *string) {
+	jsonOut = fs.String("json", "", `write the machine-readable result (JSON) to this path ("-" = stdout)`)
+	csvOut = fs.String("csv", "", `write the result grid (CSV) to this path ("-" = stdout)`)
+	return jsonOut, csvOut
+}
+
+func show(name string, apps []string, jsonOut, csvOut string) error {
+	// Flag conflicts fail before the (possibly multi-minute) run.
+	if err := validateExport(jsonOut, csvOut); err != nil {
+		return err
+	}
+	t, d, err := cni.ExperimentData(name, cni.RunOptions{Apps: apps})
+	if err != nil {
+		return err
+	}
+	printTable(t, jsonOut, csvOut)
+	return export(d, jsonOut, csvOut)
+}
+
+// printTable renders the human-readable table, unless an exporter is
+// aimed at stdout — then the stream must stay machine-parseable.
+func printTable(t *cni.Table, jsonOut, csvOut string) {
+	if jsonOut == "-" || csvOut == "-" {
+		return
+	}
 	fmt.Print(t.String())
+}
+
+// validateExport rejects export-flag combinations up front.
+func validateExport(jsonOut, csvOut string) error {
+	if jsonOut == "-" && csvOut == "-" {
+		return fmt.Errorf("--json=- and --csv=- cannot share stdout; send at most one format there")
+	}
+	return nil
+}
+
+// export writes an experiment's Data per the --json/--csv flags.
+func export(d *cni.Data, jsonOut, csvOut string) error {
+	if err := validateExport(jsonOut, csvOut); err != nil {
+		return err
+	}
+	if jsonOut != "" {
+		data, err := d.JSON()
+		if err != nil {
+			return err
+		}
+		if err := writeOut(jsonOut, data); err != nil {
+			return err
+		}
+	}
+	if csvOut != "" {
+		if err := writeOut(csvOut, []byte(d.CSV())); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeOut writes to a file or to stdout ("-"). The announcement goes
+// to stderr so a "-" exporter combined with a file exporter still
+// leaves stdout machine-parseable.
+func writeOut(path string, data []byte) error {
+	if path == "-" {
+		_, err := os.Stdout.Write(data)
+		return err
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 	return nil
 }
 

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -45,6 +48,137 @@ func TestRunStaticCommands(t *testing.T) {
 	if err := run("bogus", nil); err == nil {
 		t.Error("unknown command should error")
 	}
+}
+
+// TestListJSON pins the machine-readable registry listing: every
+// registered experiment appears with its name, title, and tags.
+func TestListJSON(t *testing.T) {
+	out := captureStdout(t, func() {
+		if err := run("list", []string{"--json"}); err != nil {
+			t.Fatalf("list --json: %v", err)
+		}
+	})
+	var entries []struct {
+		Name  string   `json:"name"`
+		Title string   `json:"title"`
+		Tags  []string `json:"tags"`
+	}
+	if err := json.Unmarshal([]byte(out), &entries); err != nil {
+		t.Fatalf("list --json output is not JSON: %v\n%s", err, out)
+	}
+	if len(entries) != len(cni.ExperimentNames()) {
+		t.Fatalf("listed %d experiments, registry has %d", len(entries), len(cni.ExperimentNames()))
+	}
+	for i, name := range cni.ExperimentNames() {
+		e := entries[i]
+		if e.Name != name || e.Title == "" || len(e.Tags) == 0 {
+			t.Errorf("entry %d = %+v, want name %q with title and tags", i, e, name)
+		}
+	}
+}
+
+// TestUniformExportFlags checks the shared --json/--csv exporters on
+// an experiment command: the files exist, the JSON parses as the
+// shared Data shape, and the CSV header matches it.
+func TestUniformExportFlags(t *testing.T) {
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "t.json")
+	csvPath := filepath.Join(dir, "t.csv")
+	if err := run("table3", []string{"--json=" + jsonPath, "--csv=" + csvPath}); err != nil {
+		t.Fatalf("table3 export: %v", err)
+	}
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d cni.Data
+	if err := json.Unmarshal(raw, &d); err != nil {
+		t.Fatalf("exported JSON does not parse as Data: %v", err)
+	}
+	if d.Name != "table3" || len(d.Rows) == 0 {
+		t.Fatalf("exported Data = %+v", d)
+	}
+	csvRaw, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstLine, _, _ := strings.Cut(string(csvRaw), "\n")
+	if !strings.Contains(firstLine, "Benchmark") {
+		t.Errorf("CSV header %q does not carry the table header", firstLine)
+	}
+	// Table 3's input column embeds commas; RFC-4180 quoting must keep
+	// the column count stable.
+	if !strings.Contains(string(csvRaw), `"`) {
+		t.Error("CSV with comma-bearing cells should be quoted")
+	}
+}
+
+// TestExportToStdoutIsPure pins that "--json=-" yields a stream jq
+// could parse: the human-readable table must be suppressed, leaving
+// nothing but the JSON document.
+func TestExportToStdoutIsPure(t *testing.T) {
+	out := captureStdout(t, func() {
+		if err := run("table1", []string{"--json=-"}); err != nil {
+			t.Fatalf("table1 --json=-: %v", err)
+		}
+	})
+	var d cni.Data
+	if err := json.Unmarshal([]byte(out), &d); err != nil {
+		t.Fatalf("stdout is not pure JSON: %v\n%s", err, out)
+	}
+	if d.Name != "table1" {
+		t.Fatalf("decoded %+v", d)
+	}
+	// Combining "-" with a file exporter must keep stdout pure too:
+	// the "wrote <path>" announcement goes to stderr.
+	csvPath := filepath.Join(t.TempDir(), "t.csv")
+	out = captureStdout(t, func() {
+		if err := run("table1", []string{"--json=-", "--csv=" + csvPath}); err != nil {
+			t.Fatalf("table1 --json=- --csv=file: %v", err)
+		}
+	})
+	if err := json.Unmarshal([]byte(out), &d); err != nil {
+		t.Fatalf("stdout polluted when combining - with a file export: %v\n%s", err, out)
+	}
+	if _, err := os.Stat(csvPath); err != nil {
+		t.Fatalf("csv file not written: %v", err)
+	}
+	// Both formats cannot share stdout.
+	if err := run("table1", []string{"--json=-", "--csv=-"}); err == nil {
+		t.Error("--json=- --csv=- should error instead of interleaving formats")
+	}
+}
+
+// captureStdout runs fn with os.Stdout redirected to a pipe.
+func captureStdout(t *testing.T, fn func()) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		var b strings.Builder
+		buf := make([]byte, 4096)
+		for {
+			n, err := r.Read(buf)
+			b.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		done <- b.String()
+	}()
+	defer func() {
+		w.Close()
+		os.Stdout = old
+	}()
+	fn()
+	w.Close()
+	os.Stdout = old
+	return <-done
 }
 
 func TestRunMicroCommands(t *testing.T) {

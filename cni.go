@@ -8,20 +8,28 @@
 // device registers (CDRs) and cachable queues (CQs) with lazy
 // pointers, message valid bits, and sense reverse.
 //
-// The package exposes three layers:
+// The package exposes four layers:
 //
 //   - The CQ algorithm itself as a practical single-producer/
 //     single-consumer queue between goroutines (Queue, Register) —
 //     see cq.go.
 //
-//   - A full-system simulator of the paper's 16-node machine (MOESI
-//     snooping caches, multiplexed memory and I/O buses, an I/O
-//     bridge, the five NI designs NI2w/CNI4/CNI16Q/CNI512Q/CNI16Qm,
-//     and a sliding-window network), driven through Config and the
-//     micro/macro benchmark entry points below.
+//   - The scenario API: Build constructs the paper's simulated
+//     machine (MOESI snooping caches, multiplexed memory and I/O
+//     buses, an I/O bridge, the five NI designs
+//     NI2w/CNI4/CNI16Q/CNI512Q/CNI16Qm, and a pluggable
+//     sliding-window fabric) once and hands out per-node Endpoints;
+//     Machine.Run executes a user-written Scenario — one Go function
+//     per node, run as simulated processes — and returns a typed
+//     Trace. Every benchmark in this repository is written against
+//     this same API.
 //
-//   - The experiment harness that regenerates every table and figure
-//     in the paper's evaluation (Experiment, ExperimentNames).
+//   - Canned measurement entry points over that machine (RoundTrip,
+//     Bandwidth, MeasureLoad, RunBenchmark, ...).
+//
+//   - The typed experiment registry that regenerates every table and
+//     figure in the paper's evaluation with uniform machine-readable
+//     output (Experiments, and the Experiment compat shim).
 //
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for
 // paper-vs-measured results.
@@ -34,9 +42,49 @@ import (
 	"repro/internal/harness"
 	"repro/internal/machine"
 	"repro/internal/params"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
+
+// Machine is one built simulated machine with per-node Endpoints:
+// construct it with Build, script it with NewScenario + Machine.Run,
+// and Close it when done. Simulated time accumulates across runs.
+type Machine = scenario.Machine
+
+// Endpoint is one node's interface to the machine: Send/TrySend/Recv
+// plus active-message handlers (Handle, SendTo, Poll, PollUntil) and
+// local costs (Compute, Load, Store, Sleep). Its methods charge the
+// configured NI/bus/fabric's simulated costs to the node's process.
+type Endpoint = scenario.Endpoint
+
+// Scenario is an ordered set of per-node programs; build one with
+// NewScenario().At(node, body) and execute it with Machine.Run.
+type Scenario = scenario.Scenario
+
+// NodeFunc is one node's program within a Scenario.
+type NodeFunc = scenario.NodeFunc
+
+// Trace is a scenario run's typed result: runtime cycles, per-counter
+// deltas, and latency histograms.
+type Trace = scenario.Trace
+
+// Message is one user message as seen by Endpoint.Recv.
+type Message = scenario.Message
+
+// Handler is an active-message handler installed via Endpoint.Handle.
+type Handler = scenario.Handler
+
+// Delivery is what a Handler receives.
+type Delivery = scenario.Delivery
+
+// Build constructs a simulated machine for cfg and exposes its
+// per-node Endpoints. The machine is reusable across scenario runs;
+// Close it when done.
+func Build(cfg Config) (*Machine, error) { return scenario.Build(cfg) }
+
+// NewScenario returns an empty scenario for Machine.Run.
+func NewScenario() *Scenario { return scenario.New() }
 
 // Config selects a machine configuration: node count, NI design, bus
 // attachment, and optional features/ablations.
@@ -202,62 +250,57 @@ type Result = apps.Result
 // method.
 type Table = harness.Table
 
-// ExperimentNames lists the experiments Experiment accepts.
+// ExperimentDef is one registered experiment: a stable Name, a
+// human-readable Title, classification Tags, and a Run function
+// returning the rendered Table plus machine-readable Data.
+type ExperimentDef = harness.Experiment
+
+// RunOptions parameterises one registry experiment run (currently:
+// narrowing the macrobenchmark sweeps to an app subset).
+type RunOptions = harness.RunOpts
+
+// Data is an experiment's machine-readable result, uniformly
+// exportable as JSON or CSV across every registered experiment.
+type Data = harness.Data
+
+// Experiments returns the typed experiment registry in presentation
+// order. ExperimentNames, the Experiment shim, and the CLI's `list`
+// are all derived from it, so a new experiment registers exactly
+// once.
+func Experiments() []ExperimentDef { return harness.Registry() }
+
+// ExperimentNames lists the registered experiment names in registry
+// order.
 func ExperimentNames() []string {
-	return []string{
-		"table1", "table2", "table3", "table4",
-		"fig6-memory", "fig6-io", "fig6-alt",
-		"fig7-memory", "fig7-io", "fig7-alt",
-		"fig8-memory", "fig8-io", "fig8-alt",
-		"occupancy", "ablation", "sweep", "dma", "congestion",
-		"loadsweep",
+	reg := harness.Registry()
+	names := make([]string, len(reg))
+	for i, e := range reg {
+		names[i] = e.Name
 	}
+	return names
+}
+
+// LookupExperiment finds a registered experiment by name.
+func LookupExperiment(name string) (ExperimentDef, bool) { return harness.ByName(name) }
+
+// ExperimentData runs one registered experiment and returns both the
+// rendered table and its machine-readable Data.
+func ExperimentData(name string, opt RunOptions) (*Table, *Data, error) {
+	e, ok := harness.ByName(name)
+	if !ok {
+		return nil, nil, fmt.Errorf("cni: unknown experiment %q (want one of %v)", name, ExperimentNames())
+	}
+	t, d := e.Run(opt)
+	return t, d, nil
 }
 
 // Experiment regenerates one of the paper's tables or figures (or one
 // of this reproduction's ablations). appNames narrows the Fig 8 /
 // occupancy sweeps to specific benchmarks (nil runs all five).
+//
+// It is a thin compatibility shim over the typed registry; new code
+// should use Experiments or ExperimentData.
 func Experiment(name string, appNames []string) (*Table, error) {
-	switch name {
-	case "table1":
-		return harness.Table1(), nil
-	case "table2":
-		return harness.Table2(), nil
-	case "table3":
-		return harness.Table3(), nil
-	case "table4":
-		return harness.Table4(), nil
-	case "fig6-memory":
-		return harness.Fig6(params.MemoryBus), nil
-	case "fig6-io":
-		return harness.Fig6(params.IOBus), nil
-	case "fig6-alt":
-		return harness.Fig6Alt(), nil
-	case "fig7-memory":
-		return harness.Fig7(params.MemoryBus), nil
-	case "fig7-io":
-		return harness.Fig7(params.IOBus), nil
-	case "fig7-alt":
-		return harness.Fig7Alt(), nil
-	case "fig8-memory":
-		return harness.Fig8(params.MemoryBus, appNames), nil
-	case "fig8-io":
-		return harness.Fig8(params.IOBus, appNames), nil
-	case "fig8-alt":
-		return harness.Fig8Alt(appNames), nil
-	case "occupancy":
-		return harness.Occupancy(appNames), nil
-	case "ablation":
-		return harness.AblationCQ(), nil
-	case "sweep":
-		return harness.SweepQueueSize(), nil
-	case "dma":
-		return harness.DMAComparison(), nil
-	case "congestion":
-		return harness.Congestion(), nil
-	case "loadsweep":
-		t, _ := harness.LoadSweep(harness.SweepOptions{})
-		return t, nil
-	}
-	return nil, fmt.Errorf("cni: unknown experiment %q (want one of %v)", name, ExperimentNames())
+	t, _, err := ExperimentData(name, RunOptions{Apps: appNames})
+	return t, err
 }

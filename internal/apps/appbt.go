@@ -3,9 +3,8 @@ package apps
 import (
 	"fmt"
 
-	"repro/internal/machine"
-	"repro/internal/msg"
 	"repro/internal/params"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 )
 
@@ -50,8 +49,8 @@ func (a *Appbt) Input() string {
 
 // Run implements App.
 func (a *Appbt) Run(cfg params.Config) Result {
-	m := machine.New(cfg)
-	defer m.Stop()
+	m := build(cfg)
+	defer m.Close()
 	P := cfg.Nodes
 	bar := NewBarrier(m)
 
@@ -66,22 +65,24 @@ func (a *Appbt) Run(cfg params.Config) Result {
 	}
 
 	replies := make([]int, P)
-	for _, n := range m.Nodes {
-		node := n.ID
-		n.Msgr.Register(hAppbtReq, func(ctx *msg.Context) {
+	for id := 0; id < P; id++ {
+		node := id
+		ep := m.Endpoint(id)
+		ep.Handle(hAppbtReq, func(d *scenario.Delivery) {
 			// Shared-memory protocol: read the block and respond.
-			ctx.CPU.LoadRange(ctx.P, machine.UserBase, a.BlockBytes)
-			ctx.M.Send(ctx.P, ctx.Src, hAppbtRep, a.BlockBytes, nil)
+			d.EP.Load(0, a.BlockBytes)
+			d.EP.SendTo(d.Src, hAppbtRep, a.BlockBytes, nil)
 		})
-		n.Msgr.Register(hAppbtRep, func(ctx *msg.Context) {
+		ep.Handle(hAppbtRep, func(d *scenario.Delivery) {
 			replies[node]++
-			ctx.CPU.StoreRange(ctx.P, machine.UserBase+0x8000, a.BlockBytes)
+			d.EP.Store(0x8000, a.BlockBytes)
 		})
 	}
 
-	for _, n := range m.Nodes {
-		m.Spawn(n.ID, func(p *sim.Process, nd *machine.Node) {
-			me := nd.ID
+	sc := scenario.New()
+	for id := 0; id < P; id++ {
+		me := id
+		sc.At(id, func(ep *scenario.Endpoint) {
 			// Hot spot (§5.2): everyone fetches boundary state from
 			// node 0 as well as from ring neighbours, so node 0 sees
 			// roughly double traffic.
@@ -100,19 +101,19 @@ func (a *Appbt) Run(cfg params.Config) Result {
 						}
 					}
 					for b := 0; b < share; b++ {
-						nd.Msgr.Send(p, peer, hAppbtReq, 16, nil)
+						ep.SendTo(peer, hAppbtReq, 16, nil)
 						expected++
 						// Keep a couple of requests in flight.
-						nd.Msgr.PollUntil(p, func() bool { return replies[me] >= expected-2 })
+						ep.PollUntil(func() bool { return replies[me] >= expected-2 })
 					}
 				}
-				nd.Msgr.PollUntil(p, func() bool { return replies[me] >= expected })
+				ep.PollUntil(func() bool { return replies[me] >= expected })
 				// Relaxation compute on the subcube interior.
-				nd.CPU.Compute(p, sim.Time(a.CubeDim*a.CubeDim*a.CubeDim/P*6))
-				bar.Wait(p, nd)
+				ep.Compute(sim.Time(a.CubeDim * a.CubeDim * a.CubeDim / P * 6))
+				bar.Wait(ep)
 			}
 		})
 	}
-	cycles := m.Run(sim.Forever)
-	return collect(a.Name(), cfg, m, cycles)
+	tr := m.Run(sc)
+	return collect(a.Name(), cfg, m, tr)
 }

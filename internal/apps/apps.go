@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/machine"
 	"repro/internal/params"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 )
 
@@ -76,18 +77,29 @@ func ByName(name string) (App, error) {
 // retain the Stats beyond the call.
 var StatsDump func(cfg params.Config, st *sim.Stats)
 
-// collect turns a finished machine run into a Result.
-func collect(app string, cfg params.Config, m *machine.Machine, cycles sim.Time) Result {
+// build constructs a scenario machine, panicking on invalid
+// configurations (App.Run keeps the harness's no-error signature;
+// call cfg.Validate first for a friendly error).
+func build(cfg params.Config) *scenario.Machine {
+	m, err := scenario.Build(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// collect turns a finished scenario run into a Result.
+func collect(app string, cfg params.Config, m *scenario.Machine, tr *scenario.Trace) Result {
 	if StatsDump != nil {
-		StatsDump(cfg, m.Stats)
+		StatsDump(cfg, m.Stats())
 	}
 	return Result{
 		App:             app,
 		Config:          cfg,
-		Cycles:          cycles,
-		MemBusOccupancy: m.MemBusOccupancy(),
-		Messages:        m.Stats.Get("net.msg"),
-		NetBytes:        m.Stats.Get("net.bytes"),
+		Cycles:          tr.Cycles(),
+		MemBusOccupancy: tr.BusOccupancy,
+		Messages:        tr.Counter("net.msg"),
+		NetBytes:        tr.Counter("net.bytes"),
 	}
 }
 

@@ -1,12 +1,11 @@
 package apps
 
 import (
-	"repro/internal/machine"
-	"repro/internal/msg"
-	"repro/internal/sim"
+	"repro/internal/scenario"
 )
 
-// Reserved active-message handler ids. Applications use ids >= HApp.
+// Reserved active-message handler ids. Applications use ids >= HApp;
+// the scenario layer's inbox sits below 90.
 const (
 	hBarrierArrive  = 90
 	hBarrierRelease = 91
@@ -20,25 +19,26 @@ const (
 // for workload phase structure (the paper's applications use library
 // barriers similarly).
 type Barrier struct {
-	m        *machine.Machine
+	m        *scenario.Machine
 	arrived  int
 	entered  []int // per-node wait generation
 	released []int // per-node release generation
 }
 
 // NewBarrier wires barrier handlers on every node of m.
-func NewBarrier(m *machine.Machine) *Barrier {
+func NewBarrier(m *scenario.Machine) *Barrier {
 	b := &Barrier{
 		m:        m,
-		entered:  make([]int, len(m.Nodes)),
-		released: make([]int, len(m.Nodes)),
+		entered:  make([]int, m.Nodes()),
+		released: make([]int, m.Nodes()),
 	}
-	for _, n := range m.Nodes {
-		node := n.ID
-		n.Msgr.Register(hBarrierArrive, func(ctx *msg.Context) {
-			b.arriveAtRoot(ctx.P, ctx.M)
+	for id := 0; id < m.Nodes(); id++ {
+		node := id
+		ep := m.Endpoint(id)
+		ep.Handle(hBarrierArrive, func(d *scenario.Delivery) {
+			b.arriveAtRoot(d.EP)
 		})
-		n.Msgr.Register(hBarrierRelease, func(ctx *msg.Context) {
+		ep.Handle(hBarrierRelease, func(d *scenario.Delivery) {
 			b.released[node]++
 		})
 	}
@@ -46,29 +46,30 @@ func NewBarrier(m *machine.Machine) *Barrier {
 }
 
 // arriveAtRoot tallies one arrival; it always executes on node 0
-// (either in the arrive handler or directly from node 0's Wait).
-func (b *Barrier) arriveAtRoot(p *sim.Process, ms *msg.Messenger) {
+// (either in the arrive handler or directly from node 0's Wait), so
+// ep is node 0's endpoint.
+func (b *Barrier) arriveAtRoot(ep *scenario.Endpoint) {
 	b.arrived++
-	if b.arrived < len(b.m.Nodes) {
+	if b.arrived < b.m.Nodes() {
 		return
 	}
 	b.arrived = 0
-	for _, n := range b.m.Nodes {
-		if n.ID != 0 {
-			ms.Send(p, n.ID, hBarrierRelease, 8, nil)
-		}
+	for id := 1; id < b.m.Nodes(); id++ {
+		ep.SendTo(id, hBarrierRelease, 8, nil)
 	}
 	b.released[0]++
 }
 
-// Wait blocks node n at the barrier until every node has arrived.
-func (b *Barrier) Wait(p *sim.Process, n *machine.Node) {
-	b.entered[n.ID]++
-	want := b.entered[n.ID]
-	if n.ID == 0 {
-		b.arriveAtRoot(p, n.Msgr)
+// Wait blocks the endpoint's node at the barrier until every node has
+// arrived.
+func (b *Barrier) Wait(ep *scenario.Endpoint) {
+	me := ep.ID()
+	b.entered[me]++
+	want := b.entered[me]
+	if me == 0 {
+		b.arriveAtRoot(ep)
 	} else {
-		n.Msgr.Send(p, 0, hBarrierArrive, 8, nil)
+		ep.SendTo(0, hBarrierArrive, 8, nil)
 	}
-	n.Msgr.PollUntil(p, func() bool { return b.released[n.ID] >= want })
+	ep.PollUntil(func() bool { return b.released[me] >= want })
 }

@@ -3,9 +3,8 @@ package apps
 import (
 	"fmt"
 
-	"repro/internal/machine"
-	"repro/internal/msg"
 	"repro/internal/params"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 )
 
@@ -49,8 +48,8 @@ func (e *Em3d) Input() string {
 
 // Run implements App.
 func (e *Em3d) Run(cfg params.Config) Result {
-	m := machine.New(cfg)
-	defer m.Stop()
+	m := build(cfg)
+	defer m.Close()
 	P := cfg.Nodes
 	rnd := NewRand(e.Seed)
 	bar := NewBarrier(m)
@@ -84,33 +83,34 @@ func (e *Em3d) Run(cfg params.Config) Result {
 	}
 
 	got := make([]int, P)
-	for _, n := range m.Nodes {
-		node := n.ID
-		n.Msgr.Register(hEm3dUpdate, func(ctx *msg.Context) {
+	for id := 0; id < P; id++ {
+		node := id
+		m.Endpoint(id).Handle(hEm3dUpdate, func(d *scenario.Delivery) {
 			got[node]++
-			ctx.CPU.Compute(ctx.P, 4) // apply the two-integer update
+			d.EP.Compute(4) // apply the two-integer update
 		})
 	}
 
-	for _, n := range m.Nodes {
-		m.Spawn(n.ID, func(p *sim.Process, nd *machine.Node) {
-			me := nd.ID
+	sc := scenario.New()
+	for id := 0; id < P; id++ {
+		me := id
+		sc.At(id, func(ep *scenario.Endpoint) {
 			expected := 0
 			for it := 0; it < e.Iters; it++ {
 				for half := 0; half < 2; half++ { // E then H
 					// Local updates: cached computation.
-					nd.CPU.Compute(p, sim.Time(localEdges[me]*4))
+					ep.Compute(sim.Time(localEdges[me] * 4))
 					// Remote updates: one 12-byte message per edge.
 					for _, dst := range remoteEdges[me] {
-						nd.Msgr.Send(p, dst, hEm3dUpdate, 12, nil)
+						ep.SendTo(dst, hEm3dUpdate, 12, nil)
 					}
 					expected += expectedPerHalf[me]
-					nd.Msgr.PollUntil(p, func() bool { return got[me] >= expected })
-					bar.Wait(p, nd)
+					ep.PollUntil(func() bool { return got[me] >= expected })
+					bar.Wait(ep)
 				}
 			}
 		})
 	}
-	cycles := m.Run(sim.Forever)
-	return collect(e.Name(), cfg, m, cycles)
+	tr := m.Run(sc)
+	return collect(e.Name(), cfg, m, tr)
 }

@@ -3,9 +3,8 @@ package apps
 import (
 	"fmt"
 
-	"repro/internal/machine"
-	"repro/internal/msg"
 	"repro/internal/params"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 )
 
@@ -46,37 +45,38 @@ func (g *Gauss) Input() string {
 
 // Run implements App.
 func (g *Gauss) Run(cfg params.Config) Result {
-	m := machine.New(cfg)
-	defer m.Stop()
+	m := build(cfg)
+	defer m.Close()
 	P := cfg.Nodes
 	bar := NewBarrier(m)
 
 	// gotPivot[p] counts pivot rows received at processor p.
 	gotPivot := make([]int, P)
-	for _, n := range m.Nodes {
-		node := n.ID
-		n.Msgr.Register(hGaussPivot, func(ctx *msg.Context) {
+	for id := 0; id < P; id++ {
+		node := id
+		m.Endpoint(id).Handle(hGaussPivot, func(d *scenario.Delivery) {
 			gotPivot[node]++
 		})
 	}
 
-	for _, n := range m.Nodes {
-		m.Spawn(n.ID, func(p *sim.Process, nd *machine.Node) {
-			me := nd.ID
+	sc := scenario.New()
+	for id := 0; id < P; id++ {
+		me := id
+		sc.At(id, func(ep *scenario.Endpoint) {
 			expected := 0
 			for k := 0; k < g.N; k++ {
 				owner := k % P
 				if owner == me {
 					// Read the pivot row out of memory and broadcast.
-					nd.CPU.LoadRange(p, machine.UserBase, g.RowBytes)
+					ep.Load(0, g.RowBytes)
 					for d := 0; d < P; d++ {
 						if d != me {
-							nd.Msgr.Send(p, d, hGaussPivot, g.RowBytes, k)
+							ep.SendTo(d, hGaussPivot, g.RowBytes, k)
 						}
 					}
 				} else {
 					expected++
-					nd.Msgr.PollUntil(p, func() bool { return gotPivot[me] >= expected })
+					ep.PollUntil(func() bool { return gotPivot[me] >= expected })
 				}
 				// Eliminate my rows below the pivot.
 				myRows := 0
@@ -85,11 +85,11 @@ func (g *Gauss) Run(cfg params.Config) Result {
 						myRows++
 					}
 				}
-				nd.CPU.Compute(p, sim.Time(myRows*(g.N-k)*g.FlopCycles))
+				ep.Compute(sim.Time(myRows * (g.N - k) * g.FlopCycles))
 			}
-			bar.Wait(p, nd)
+			bar.Wait(ep)
 		})
 	}
-	cycles := m.Run(sim.Forever)
-	return collect(g.Name(), cfg, m, cycles)
+	tr := m.Run(sc)
+	return collect(g.Name(), cfg, m, tr)
 }

@@ -3,9 +3,8 @@ package apps
 import (
 	"repro/internal/bus"
 	"repro/internal/cache"
-	"repro/internal/machine"
-	"repro/internal/msg"
 	"repro/internal/params"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 )
 
@@ -38,37 +37,38 @@ func RoundTrip(cfg params.Config, size, rounds int) sim.Time {
 // optimisations buy bus cycles rather than critical-path latency.
 func RoundTripDetail(cfg params.Config, size, rounds int) (sim.Time, uint64) {
 	cfg.Nodes = 2
-	m := machine.New(cfg)
-	defer m.Stop()
+	m := build(cfg)
+	defer m.Close()
 
 	pongs := 0
-	m.Nodes[1].Msgr.Register(hPing, func(ctx *msg.Context) {
-		ctx.M.Send(ctx.P, ctx.Src, hPong, ctx.Size, nil)
+	m.Endpoint(1).Handle(hPing, func(d *scenario.Delivery) {
+		d.EP.SendTo(d.Src, hPong, d.Size, nil)
 	})
-	m.Nodes[0].Msgr.Register(hPong, func(ctx *msg.Context) { pongs++ })
+	m.Endpoint(0).Handle(hPong, func(d *scenario.Delivery) { pongs++ })
 
 	const warmup = 2
 	var start, end sim.Time
 	var busAtStart, busAtEnd sim.Time
-	m.Spawn(0, func(p *sim.Process, n *machine.Node) {
-		for r := 0; r < warmup+rounds; r++ {
-			if r == warmup {
-				start = p.Now()
-				busAtStart = m.MemBusOccupancy()
+	sc := scenario.New().
+		At(0, func(ep *scenario.Endpoint) {
+			for r := 0; r < warmup+rounds; r++ {
+				if r == warmup {
+					start = ep.Clock()
+					busAtStart = m.BusOccupancy()
+				}
+				ep.SendTo(1, hPing, size, nil)
+				want := r + 1
+				ep.PollUntil(func() bool { return pongs == want })
 			}
-			n.Msgr.Send(p, 1, hPing, size, nil)
-			want := r + 1
-			n.Msgr.PollUntil(p, func() bool { return pongs == want })
-		}
-		end = p.Now()
-		busAtEnd = m.MemBusOccupancy()
-	})
-	m.Spawn(1, func(p *sim.Process, n *machine.Node) {
-		n.Msgr.PollUntil(p, func() bool { return pongs == warmup+rounds })
-	})
-	m.Run(sim.Forever)
+			end = ep.Clock()
+			busAtEnd = m.BusOccupancy()
+		}).
+		At(1, func(ep *scenario.Endpoint) {
+			ep.PollUntil(func() bool { return pongs == warmup+rounds })
+		})
+	m.Run(sc)
 	if StatsDump != nil {
-		StatsDump(cfg, m.Stats)
+		StatsDump(cfg, m.Stats())
 	}
 	return (end - start) / sim.Time(rounds), uint64(busAtEnd-busAtStart) / uint64(rounds)
 }
@@ -79,39 +79,40 @@ func RoundTripDetail(cfg params.Config, size, rounds int) (sim.Time, uint64) {
 // (steady state: a warmup prefix is excluded).
 func Bandwidth(cfg params.Config, size, messages int) float64 {
 	cfg.Nodes = 2
-	m := machine.New(cfg)
-	defer m.Stop()
+	m := build(cfg)
+	defer m.Close()
 
 	warmup := messages / 5
 	received := 0
 	var start, end sim.Time
-	m.Nodes[1].Msgr.Register(hStream, func(ctx *msg.Context) {
+	m.Endpoint(1).Handle(hStream, func(d *scenario.Delivery) {
 		// The consuming process reads the delivered payload (the
 		// paper's measurement ends with data "in the receiving
 		// processor's cache" — and used) plus per-message bookkeeping.
-		ctx.CPU.LoadRange(ctx.P, machine.UserBase+0x4000, ctx.Size)
-		ctx.CPU.Compute(ctx.P, 40)
+		d.EP.Load(0x4000, d.Size)
+		d.EP.Compute(40)
 		received++
 		if received == warmup {
-			start = ctx.P.Now()
+			start = d.EP.Clock()
 		}
 		if received == warmup+messages {
-			end = ctx.P.Now()
+			end = d.EP.Clock()
 		}
 	})
-	m.Spawn(0, func(p *sim.Process, n *machine.Node) {
-		for i := 0; i < warmup+messages; i++ {
-			n.Msgr.Send(p, 1, hStream, size, nil)
-		}
-	})
-	m.Spawn(1, func(p *sim.Process, n *machine.Node) {
-		// The consumer arrives a little late (§5.1.2: the send rate
-		// exceeds the reception rate), letting the stream pile into
-		// the NI — which is what differentiates the designs' buffering.
-		n.CPU.Compute(p, 4000)
-		n.Msgr.PollUntil(p, func() bool { return received == warmup+messages })
-	})
-	m.Run(sim.Forever)
+	sc := scenario.New().
+		At(0, func(ep *scenario.Endpoint) {
+			for i := 0; i < warmup+messages; i++ {
+				ep.SendTo(1, hStream, size, nil)
+			}
+		}).
+		At(1, func(ep *scenario.Endpoint) {
+			// The consumer arrives a little late (§5.1.2: the send rate
+			// exceeds the reception rate), letting the stream pile into
+			// the NI — which is what differentiates the designs' buffering.
+			ep.Compute(4000)
+			ep.PollUntil(func() bool { return received == warmup+messages })
+		})
+	m.Run(sc)
 	if end <= start {
 		return 0
 	}
@@ -164,14 +165,14 @@ func HotspotNode(nodes int) int {
 	return ProbeDst(nodes) - w
 }
 
-// spawnBackground starts the congestion background traffic on every
-// node except the probe endpoints (and, for BgHotspot, the hotspot
-// sink): each sender streams full-payload messages at the given gap
-// until *done flips. Call it after the probe processes are spawned so
+// addBackground appends the congestion background traffic to sc on
+// every node except the probe endpoints (and, for BgHotspot, the
+// hotspot sink): each sender streams full-payload messages at the
+// given gap until *done flips. Append it after the probe programs so
 // the simulated schedule keeps the probe's wake ordering. A negative
-// gap spawns nothing.
-func spawnBackground(m *machine.Machine, gap int, pattern BgPattern, done *bool) {
-	nodes := m.Cfg.Nodes
+// gap adds nothing.
+func addBackground(m *scenario.Machine, sc *scenario.Scenario, gap int, pattern BgPattern, done *bool) {
+	nodes := m.Nodes()
 	probeDst := ProbeDst(nodes)
 	hot := HotspotNode(nodes)
 	bgAlive := 0
@@ -189,27 +190,27 @@ func spawnBackground(m *machine.Machine, gap int, pattern BgPattern, done *bool)
 					continue // the probe pair maps to itself; skip partners of excluded nodes
 				}
 			}
-			m.Nodes[id].Msgr.Register(hBgSink, func(ctx *msg.Context) {})
+			m.Endpoint(id).Handle(hBgSink, func(d *scenario.Delivery) {})
 			sending[id] = true
 			targets = append(targets, target)
 			bgAlive++
-			m.Spawn(id, func(p *sim.Process, n *machine.Node) {
+			sc.At(id, func(ep *scenario.Endpoint) {
 				for !*done {
-					n.Msgr.Send(p, target, hBgSink, params.MaxPayloadBytes, nil)
-					n.Msgr.DrainAvailable(p)
-					n.CPU.Compute(p, sim.Time(gap))
+					ep.SendTo(target, hBgSink, params.MaxPayloadBytes, nil)
+					ep.Drain()
+					ep.Compute(sim.Time(gap))
 				}
 				// Keep draining after the measurement so no partner is
 				// left blocked on a full window mid-send; the last
 				// sender to finish releases everyone.
 				bgAlive--
-				n.Msgr.PollUntil(p, func() bool { return bgAlive == 0 })
+				ep.PollUntil(func() bool { return bgAlive == 0 })
 			})
 		}
 		// On tori with an odd dimension the antipode map is not an
 		// involution, so a node skipped as a sender can still be some
 		// other node's target; without a drain its NI fills and that
-		// sender wedges on the window forever. Spawn a pure sink on
+		// sender wedges on the window forever. Add a pure sink on
 		// every such orphaned target. (On even-dimensioned tori —
 		// including the 16-node harness configuration — this set is
 		// empty and the simulated schedule is untouched.)
@@ -218,18 +219,18 @@ func spawnBackground(m *machine.Machine, gap int, pattern BgPattern, done *bool)
 				continue
 			}
 			sending[tgt] = true // drain at most once
-			m.Nodes[tgt].Msgr.Register(hBgSink, func(ctx *msg.Context) {})
-			m.Spawn(tgt, func(p *sim.Process, n *machine.Node) {
-				n.Msgr.PollUntil(p, func() bool { return *done && bgAlive == 0 })
+			m.Endpoint(tgt).Handle(hBgSink, func(d *scenario.Delivery) {})
+			sc.At(tgt, func(ep *scenario.Endpoint) {
+				ep.PollUntil(func() bool { return *done && bgAlive == 0 })
 			})
 		}
 	}
 	// The hotspot sink keeps draining until every background sender
 	// has finished its final (possibly flow-controlled) send.
 	if pattern == BgHotspot {
-		m.Nodes[hot].Msgr.Register(hBgSink, func(ctx *msg.Context) {})
-		m.Spawn(hot, func(p *sim.Process, n *machine.Node) {
-			n.Msgr.PollUntil(p, func() bool { return *done && bgAlive == 0 })
+		m.Endpoint(hot).Handle(hBgSink, func(d *scenario.Delivery) {})
+		sc.At(hot, func(ep *scenario.Endpoint) {
+			ep.PollUntil(func() bool { return *done && bgAlive == 0 })
 		})
 	}
 }
@@ -249,38 +250,39 @@ func ProbeRTT(cfg params.Config, size, rounds, gap int, pattern BgPattern) sim.T
 	if cfg.Nodes < 4 {
 		panic("apps: ProbeRTT needs at least 4 nodes")
 	}
-	m := machine.New(cfg)
-	defer m.Stop()
+	m := build(cfg)
+	defer m.Close()
 	probeDst := ProbeDst(cfg.Nodes)
 
 	pongs := 0
-	m.Nodes[probeDst].Msgr.Register(hPing, func(ctx *msg.Context) {
-		ctx.M.Send(ctx.P, ctx.Src, hPong, ctx.Size, nil)
+	m.Endpoint(probeDst).Handle(hPing, func(d *scenario.Delivery) {
+		d.EP.SendTo(d.Src, hPong, d.Size, nil)
 	})
-	m.Nodes[0].Msgr.Register(hPong, func(ctx *msg.Context) { pongs++ })
+	m.Endpoint(0).Handle(hPong, func(d *scenario.Delivery) { pongs++ })
 
 	done := false
 	const warmup = 2
 	var start, end sim.Time
-	m.Spawn(0, func(p *sim.Process, n *machine.Node) {
-		for r := 0; r < warmup+rounds; r++ {
-			if r == warmup {
-				start = p.Now()
+	sc := scenario.New().
+		At(0, func(ep *scenario.Endpoint) {
+			for r := 0; r < warmup+rounds; r++ {
+				if r == warmup {
+					start = ep.Clock()
+				}
+				ep.SendTo(probeDst, hPing, size, nil)
+				want := r + 1
+				ep.PollUntil(func() bool { return pongs == want })
 			}
-			n.Msgr.Send(p, probeDst, hPing, size, nil)
-			want := r + 1
-			n.Msgr.PollUntil(p, func() bool { return pongs == want })
-		}
-		end = p.Now()
-		done = true
-	})
-	m.Spawn(probeDst, func(p *sim.Process, n *machine.Node) {
-		n.Msgr.PollUntil(p, func() bool { return done })
-	})
-	spawnBackground(m, gap, pattern, &done)
-	m.Run(sim.Forever)
+			end = ep.Clock()
+			done = true
+		}).
+		At(probeDst, func(ep *scenario.Endpoint) {
+			ep.PollUntil(func() bool { return done })
+		})
+	addBackground(m, sc, gap, pattern, &done)
+	m.Run(sc)
 	if StatsDump != nil {
-		StatsDump(cfg, m.Stats)
+		StatsDump(cfg, m.Stats())
 	}
 	return (end - start) / sim.Time(rounds)
 }
@@ -295,8 +297,8 @@ func ProbeBandwidth(cfg params.Config, size, messages, gap int, pattern BgPatter
 	if cfg.Nodes < 4 {
 		panic("apps: ProbeBandwidth needs at least 4 nodes")
 	}
-	m := machine.New(cfg)
-	defer m.Stop()
+	m := build(cfg)
+	defer m.Close()
 	probeDst := ProbeDst(cfg.Nodes)
 
 	warmup := messages / 5
@@ -306,28 +308,29 @@ func ProbeBandwidth(cfg params.Config, size, messages, gap int, pattern BgPatter
 	received := 0
 	done := false
 	var start, end sim.Time
-	m.Nodes[probeDst].Msgr.Register(hStream, func(ctx *msg.Context) {
-		ctx.CPU.LoadRange(ctx.P, machine.UserBase+0x4000, ctx.Size)
-		ctx.CPU.Compute(ctx.P, 40)
+	m.Endpoint(probeDst).Handle(hStream, func(d *scenario.Delivery) {
+		d.EP.Load(0x4000, d.Size)
+		d.EP.Compute(40)
 		received++
 		if received == warmup {
-			start = ctx.P.Now()
+			start = d.EP.Clock()
 		}
 		if received == warmup+messages {
-			end = ctx.P.Now()
+			end = d.EP.Clock()
 		}
 	})
-	m.Spawn(0, func(p *sim.Process, n *machine.Node) {
-		for i := 0; i < warmup+messages; i++ {
-			n.Msgr.Send(p, probeDst, hStream, size, nil)
-		}
-	})
-	m.Spawn(probeDst, func(p *sim.Process, n *machine.Node) {
-		n.Msgr.PollUntil(p, func() bool { return received == warmup+messages })
-		done = true
-	})
-	spawnBackground(m, gap, pattern, &done)
-	m.Run(sim.Forever)
+	sc := scenario.New().
+		At(0, func(ep *scenario.Endpoint) {
+			for i := 0; i < warmup+messages; i++ {
+				ep.SendTo(probeDst, hStream, size, nil)
+			}
+		}).
+		At(probeDst, func(ep *scenario.Endpoint) {
+			ep.PollUntil(func() bool { return received == warmup+messages })
+			done = true
+		})
+	addBackground(m, sc, gap, pattern, &done)
+	m.Run(sc)
 	if end <= start {
 		return 0
 	}
@@ -343,8 +346,8 @@ func ProbeBandwidth(cfg params.Config, size, messages, gap int, pattern BgPatter
 // 0's router; on the flat network only the sink's NI and bus limit
 // delivery.
 func HotspotIncast(cfg params.Config, size, perSender int) float64 {
-	m := machine.New(cfg)
-	defer m.Stop()
+	m := build(cfg)
+	defer m.Close()
 	total := (cfg.Nodes - 1) * perSender
 	warm := total / 5
 	if warm < 1 {
@@ -352,27 +355,28 @@ func HotspotIncast(cfg params.Config, size, perSender int) float64 {
 	}
 	received := 0
 	var start, end sim.Time
-	m.Nodes[0].Msgr.Register(hIncast, func(ctx *msg.Context) {
-		ctx.CPU.LoadRange(ctx.P, machine.UserBase+0x4000, ctx.Size)
+	m.Endpoint(0).Handle(hIncast, func(d *scenario.Delivery) {
+		d.EP.Load(0x4000, d.Size)
 		received++
 		if received == warm {
-			start = ctx.P.Now()
+			start = d.EP.Clock()
 		}
 		if received == total {
-			end = ctx.P.Now()
+			end = d.EP.Clock()
 		}
 	})
+	sc := scenario.New()
 	for id := 1; id < cfg.Nodes; id++ {
-		m.Spawn(id, func(p *sim.Process, n *machine.Node) {
+		sc.At(id, func(ep *scenario.Endpoint) {
 			for i := 0; i < perSender; i++ {
-				n.Msgr.Send(p, 0, hIncast, size, nil)
+				ep.SendTo(0, hIncast, size, nil)
 			}
 		})
 	}
-	m.Spawn(0, func(p *sim.Process, n *machine.Node) {
-		n.Msgr.PollUntil(p, func() bool { return received == total })
+	sc.At(0, func(ep *scenario.Endpoint) {
+		ep.PollUntil(func() bool { return received == total })
 	})
-	m.Run(sim.Forever)
+	m.Run(sc)
 	if end <= start {
 		return 0
 	}
@@ -388,37 +392,38 @@ func HotspotIncast(cfg params.Config, size, perSender int) float64 {
 // node 0. The torus serialises the exchange over its links; the flat
 // network admits every flow at once.
 func AllToAllExchange(cfg params.Config, size, rounds int) sim.Time {
-	m := machine.New(cfg)
-	defer m.Stop()
+	m := build(cfg)
+	defer m.Close()
 	n := cfg.Nodes
 	recv := make([]int, n)
 	for id := 0; id < n; id++ {
 		at := id
-		m.Nodes[id].Msgr.Register(hExchange, func(ctx *msg.Context) { recv[at]++ })
+		m.Endpoint(id).Handle(hExchange, func(d *scenario.Delivery) { recv[at]++ })
 	}
 	const warmup = 1
 	var start, end sim.Time
+	sc := scenario.New()
 	for id := 0; id < n; id++ {
 		self := id
-		m.Spawn(id, func(p *sim.Process, node *machine.Node) {
+		sc.At(id, func(ep *scenario.Endpoint) {
 			for r := 0; r < warmup+rounds; r++ {
 				if self == 0 && r == warmup {
-					start = p.Now()
+					start = ep.Clock()
 				}
 				for off := 1; off < n; off++ {
-					node.Msgr.Send(p, (self+off)%n, hExchange, size, nil)
+					ep.SendTo((self+off)%n, hExchange, size, nil)
 				}
 				want := (r + 1) * (n - 1)
-				node.Msgr.PollUntil(p, func() bool { return recv[self] >= want })
+				ep.PollUntil(func() bool { return recv[self] >= want })
 			}
 			if self == 0 {
-				end = p.Now()
+				end = ep.Clock()
 			}
 		})
 	}
-	m.Run(sim.Forever)
+	m.Run(sc)
 	if StatsDump != nil {
-		StatsDump(cfg, m.Stats)
+		StatsDump(cfg, m.Stats())
 	}
 	return (end - start) / sim.Time(rounds)
 }

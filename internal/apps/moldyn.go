@@ -3,9 +3,8 @@ package apps
 import (
 	"fmt"
 
-	"repro/internal/machine"
-	"repro/internal/msg"
 	"repro/internal/params"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 )
 
@@ -46,41 +45,42 @@ func (md *Moldyn) Input() string {
 
 // Run implements App.
 func (md *Moldyn) Run(cfg params.Config) Result {
-	m := machine.New(cfg)
-	defer m.Stop()
+	m := build(cfg)
+	defer m.Close()
 	P := cfg.Nodes
 	bar := NewBarrier(m)
 
 	got := make([]int, P)
-	for _, n := range m.Nodes {
-		node := n.ID
-		n.Msgr.Register(hMoldynChunk, func(ctx *msg.Context) {
+	for id := 0; id < P; id++ {
+		node := id
+		m.Endpoint(id).Handle(hMoldynChunk, func(d *scenario.Delivery) {
 			got[node]++
 			// Fold the received partial forces into the local array.
-			ctx.CPU.StoreRange(ctx.P, machine.UserBase, ctx.Size)
+			d.EP.Store(0, d.Size)
 		})
 	}
 
-	for _, n := range m.Nodes {
-		m.Spawn(n.ID, func(p *sim.Process, nd *machine.Node) {
-			me := nd.ID
+	sc := scenario.New()
+	for id := 0; id < P; id++ {
+		me := id
+		sc.At(id, func(ep *scenario.Endpoint) {
 			right := (me + 1) % P
 			expected := 0
 			for it := 0; it < md.Iters; it++ {
 				// Force computation phase.
-				nd.CPU.Compute(p, sim.Time(md.Particles/P*md.ForceCycles))
+				ep.Compute(sim.Time(md.Particles / P * md.ForceCycles))
 				// Bulk reduction: P ring steps, 1.5 KB to the same
 				// neighbour each step; reception overlaps sending.
 				for step := 0; step < P; step++ {
-					nd.CPU.LoadRange(p, machine.UserBase, md.ChunkBytes)
-					nd.Msgr.Send(p, right, hMoldynChunk, md.ChunkBytes, nil)
+					ep.Load(0, md.ChunkBytes)
+					ep.SendTo(right, hMoldynChunk, md.ChunkBytes, nil)
 					expected++
-					nd.Msgr.PollUntil(p, func() bool { return got[me] >= expected })
+					ep.PollUntil(func() bool { return got[me] >= expected })
 				}
-				bar.Wait(p, nd)
+				bar.Wait(ep)
 			}
 		})
 	}
-	cycles := m.Run(sim.Forever)
-	return collect(md.Name(), cfg, m, cycles)
+	tr := m.Run(sc)
+	return collect(md.Name(), cfg, m, tr)
 }

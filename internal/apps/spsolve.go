@@ -3,10 +3,8 @@ package apps
 import (
 	"fmt"
 
-	"repro/internal/machine"
-	"repro/internal/msg"
 	"repro/internal/params"
-	"repro/internal/sim"
+	"repro/internal/scenario"
 )
 
 const hSpsolveEdge = HApp + 10
@@ -56,8 +54,8 @@ type dagNode struct {
 
 // Run implements App.
 func (s *Spsolve) Run(cfg params.Config) Result {
-	m := machine.New(cfg)
-	defer m.Stop()
+	m := build(cfg)
+	defer m.Close()
 	P := cfg.Nodes
 	rnd := NewRand(s.Seed)
 
@@ -90,43 +88,44 @@ func (s *Spsolve) Run(cfg params.Config) Result {
 
 	// deliver consumes one incoming edge for element id; when the
 	// element's dependencies are satisfied it computes and propagates.
-	var deliver func(p *sim.Process, n *machine.Node, id int)
-	propagate := func(p *sim.Process, n *machine.Node, nd *dagNode) {
-		n.CPU.Compute(p, 4) // one double-word addition in the handler
+	var deliver func(ep *scenario.Endpoint, id int)
+	propagate := func(ep *scenario.Endpoint, nd *dagNode) {
+		ep.Compute(4) // one double-word addition in the handler
 		for _, t := range nd.succs {
-			if nodes[t].owner == n.ID {
-				deliver(p, n, t)
+			if nodes[t].owner == ep.ID() {
+				deliver(ep, t)
 			} else {
-				n.Msgr.Send(p, nodes[t].owner, hSpsolveEdge, 12, t)
+				ep.SendTo(nodes[t].owner, hSpsolveEdge, 12, t)
 			}
 		}
 	}
-	deliver = func(p *sim.Process, n *machine.Node, id int) {
+	deliver = func(ep *scenario.Endpoint, id int) {
 		nd := nodes[id]
 		nd.remaining--
-		fired[n.ID]++
+		fired[ep.ID()]++
 		if nd.remaining == 0 {
-			propagate(p, n, nd)
+			propagate(ep, nd)
 		}
 	}
 
-	for _, n := range m.Nodes {
-		n := n
-		n.Msgr.Register(hSpsolveEdge, func(ctx *msg.Context) {
-			deliver(ctx.P, n, ctx.Payload.(int))
+	for id := 0; id < P; id++ {
+		m.Endpoint(id).Handle(hSpsolveEdge, func(d *scenario.Delivery) {
+			deliver(d.EP, d.Payload.(int))
 		})
 	}
-	for _, n := range m.Nodes {
-		m.Spawn(n.ID, func(p *sim.Process, nd *machine.Node) {
+	sc := scenario.New()
+	for id := 0; id < P; id++ {
+		me := id
+		sc.At(id, func(ep *scenario.Endpoint) {
 			// Fire the local roots, then service edges to completion.
 			for i, dn := range nodes {
-				if dn.owner == nd.ID && dn.indegree == 0 {
-					propagate(p, nd, nodes[i])
+				if dn.owner == me && dn.indegree == 0 {
+					propagate(ep, nodes[i])
 				}
 			}
-			nd.Msgr.PollUntil(p, func() bool { return fired[nd.ID] >= expected[nd.ID] })
+			ep.PollUntil(func() bool { return fired[me] >= expected[me] })
 		})
 	}
-	cycles := m.Run(sim.Forever)
-	return collect(s.Name(), cfg, m, cycles)
+	tr := m.Run(sc)
+	return collect(s.Name(), cfg, m, tr)
 }

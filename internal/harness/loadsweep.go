@@ -190,6 +190,35 @@ func sweepOne(opt SweepOptions, ni params.NIKind, topo params.Topology) SweepRow
 	return row
 }
 
+// SweepData renders a sweep's machine-readable Data: a summary grid
+// with stable snake_case column names (the CSV export's schema) and
+// the full per-NI ladders under Extra. The name is set here because
+// cnisim's parameterised loadsweep path builds this Data without
+// going through the registry (whose stamp would agree anyway).
+func SweepData(t *Table, rows []SweepRow) *Data {
+	d := &Data{
+		Name:  "loadsweep",
+		Title: t.Title,
+		Header: []string{"ni", "topology", "saturation_mbps", "knee_offered_mbps",
+			"p50_us_30", "p99_us_30", "p999_us_30",
+			"p50_us_60", "p99_us_60", "p999_us_60",
+			"p50_us_90", "p99_us_90", "p999_us_90"},
+		Extra: rows,
+	}
+	for _, r := range rows {
+		row := []string{r.NI, r.Topology,
+			fmt.Sprintf("%.1f", r.SaturationMBps), fmt.Sprintf("%.1f", r.KneeOfferedMBps)}
+		for _, pt := range r.AtFrac {
+			row = append(row,
+				fmt.Sprintf("%.1f", pt.P50Us),
+				fmt.Sprintf("%.1f", pt.P99Us),
+				fmt.Sprintf("%.1f", pt.P999Us))
+		}
+		d.Rows = append(d.Rows, row)
+	}
+	return d
+}
+
 // LoadSweep runs the load sweep for every requested NI × topology and
 // renders the table; the rows carry the machine-readable results
 // (JSON/CSV in cmd/cnisim). Each cell is an independent machine, so

@@ -112,9 +112,34 @@ func (ms *Messenger) Register(id int, h Handler) { ms.handlers[id] = h }
 // to the NI, draining incoming messages to user space whenever the NI
 // cannot accept (software flow control, §4.1).
 func (ms *Messenger) Send(p *sim.Process, dst, handler, size int, payload any) {
+	ms.sendFrags(p, dst, handler, size, payload, true)
+}
+
+// TrySend is Send without the blocking flow control: it attempts to
+// hand the message's first fragment to the NI exactly once and
+// reports whether the send was admitted. On refusal nothing was sent
+// (the failed admission check's processor cost is still charged, as
+// on hardware) and the caller decides how to back off. Once the first
+// fragment is admitted the send is committed: any remaining fragments
+// go through the same blocking flow-control path Send uses, so a
+// multi-fragment message is never left half-sent.
+func (ms *Messenger) TrySend(p *sim.Process, dst, handler, size int, payload any) bool {
+	return ms.sendFrags(p, dst, handler, size, payload, false)
+}
+
+// sendFrags fragments and transmits one user message. With block
+// false the first fragment gets exactly one admission attempt and a
+// refusal abandons the whole send (reported false); once the first
+// fragment is admitted — or always, with block true — the remaining
+// fragments ride the blocking flow control.
+func (ms *Messenger) sendFrags(p *sim.Process, dst, handler, size int, payload any, block bool) bool {
 	if dst == ms.node {
 		panic("msg: self-send not supported; use local queues")
 	}
+	// Claim the id up front: a blocking send can yield mid-flight, and
+	// another process on the same node must never reuse it. A refused
+	// TrySend burns its id, which is harmless — ids only need to be
+	// unique per (src, dst) stream.
 	id := ms.nextID
 	ms.nextID++
 	frags := (size + params.MaxPayloadBytes - 1) / params.MaxPayloadBytes
@@ -141,6 +166,9 @@ func (ms *Messenger) Send(p *sim.Process, dst, handler, size int, payload any) {
 		// Read the fragment out of the user buffer (cached, mostly hits).
 		ms.cpu.LoadRange(p, ms.bufAddr+uint64(f*params.MaxPayloadBytes), fsize)
 		for tries := 0; !ms.ni.TrySend(p, m); tries++ {
+			if !block && f == 0 {
+				return false
+			}
 			ms.sendBlocks.Inc()
 			// §4.1 flow control: a blocked sender extracts incoming
 			// messages and buffers them in user space. "Blocked" means
@@ -153,6 +181,7 @@ func (ms *Messenger) Send(p *sim.Process, dst, handler, size int, payload any) {
 		}
 	}
 	ms.Sent++
+	return true
 }
 
 // drainOne pulls one message out of the NI into the user-space buffer

@@ -194,3 +194,61 @@ func TestSentReceivedCounters(t *testing.T) {
 		t.Errorf("Received = %d", m.Nodes[1].Msgr.Received)
 	}
 }
+
+// TestTrySendMultiFragment pins TrySend's commit semantics: a
+// multi-fragment message that is admitted is delivered whole (the
+// remaining fragments ride the blocking path), a refused one leaves
+// no partial state behind, and ids stay consistent with later Sends.
+func TestTrySendMultiFragment(t *testing.T) {
+	m := twoNode(t)
+	const h = 100
+	got := 0
+	m.Nodes[1].Msgr.Register(h, func(ctx *msg.Context) {
+		got++
+		if ctx.Size != 1024 {
+			t.Errorf("handler saw size %d, want 1024", ctx.Size)
+		}
+	})
+	ok := false
+	m.Spawn(0, func(p *sim.Process, n *machine.Node) {
+		ok = n.Msgr.TrySend(p, 1, h, 1024, nil) // 5 fragments
+		n.Msgr.Send(p, 1, h, 1024, nil)
+	})
+	m.Spawn(1, func(p *sim.Process, n *machine.Node) {
+		n.Msgr.PollUntil(p, func() bool { return got == 2 })
+	})
+	m.Run(sim.Forever)
+	m.Stop()
+	if !ok {
+		t.Fatal("TrySend on an empty 512-block CQ should be admitted")
+	}
+	if got != 2 || m.Nodes[0].Msgr.Sent != 2 || m.Nodes[1].Msgr.Received != 2 {
+		t.Fatalf("got %d, Sent %d, Received %d; want 2 each",
+			got, m.Nodes[0].Msgr.Sent, m.Nodes[1].Msgr.Received)
+	}
+}
+
+// TestTrySendRefusal fills NI2w's two-message FIFO with no consumer:
+// TrySend must refuse instead of spinning, and must not count a
+// refused message as sent.
+func TestTrySendRefusal(t *testing.T) {
+	m := machine.New(params.Config{Nodes: 2, NI: params.NI2w, Bus: params.MemoryBus})
+	const h = 100
+	accepted := 0
+	m.Spawn(0, func(p *sim.Process, n *machine.Node) {
+		for i := 0; i < 32; i++ {
+			if !n.Msgr.TrySend(p, 1, h, 32, nil) {
+				break
+			}
+			accepted++
+		}
+	})
+	m.Run(sim.Forever)
+	m.Stop()
+	if accepted == 0 || accepted >= 32 {
+		t.Fatalf("accepted = %d, want backpressure in (0,32)", accepted)
+	}
+	if m.Nodes[0].Msgr.Sent != uint64(accepted) {
+		t.Fatalf("Sent = %d, want %d", m.Nodes[0].Msgr.Sent, accepted)
+	}
+}

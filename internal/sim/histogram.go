@@ -150,6 +150,54 @@ func (h *Histogram) Merge(o *Histogram) {
 	}
 }
 
+// DeltaSince returns the distribution of the observations recorded
+// since prev, an earlier snapshot (value copy) of this same
+// histogram. Count, sum, and buckets subtract exactly. The window's
+// min/max are exact when the window extended the lifetime extremes
+// (or when prev was empty); otherwise they are reconstructed from the
+// delta's occupied bucket bounds, clamped to the lifetime envelope —
+// within the histogram's usual quantile error bound.
+func (h *Histogram) DeltaSince(prev *Histogram) Histogram {
+	if prev.count == 0 {
+		return *h
+	}
+	if h.count < prev.count {
+		panic("sim: DeltaSince snapshot is not a prefix of this histogram")
+	}
+	var d Histogram
+	d.count = h.count - prev.count
+	if d.count == 0 {
+		return d
+	}
+	d.sum = h.sum - prev.sum
+	first, last := -1, -1
+	for i := range h.buckets {
+		c := h.buckets[i] - prev.buckets[i]
+		d.buckets[i] = c
+		if c != 0 {
+			if first < 0 {
+				first = i
+			}
+			last = i
+		}
+	}
+	lo, _ := bucketBounds(first)
+	_, hi := bucketBounds(last)
+	d.min = Time(lo)
+	if h.min < prev.min {
+		d.min = h.min // the window set a new lifetime minimum: exact
+	} else if d.min < h.min {
+		d.min = h.min // a window sample cannot undercut the lifetime min
+	}
+	d.max = Time(hi - 1)
+	if h.max > prev.max {
+		d.max = h.max // the window set a new lifetime maximum: exact
+	} else if d.max > h.max {
+		d.max = h.max
+	}
+	return d
+}
+
 // Reset empties the histogram for reuse.
 func (h *Histogram) Reset() { *h = Histogram{} }
 

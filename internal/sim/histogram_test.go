@@ -107,3 +107,41 @@ func TestStatsHistogramInterning(t *testing.T) {
 		t.Fatalf("Histograms() = %v", got)
 	}
 }
+
+func TestHistogramDeltaSince(t *testing.T) {
+	var h Histogram
+	for _, v := range []Time{10, 100, 1000} {
+		h.Record(v)
+	}
+	snap := h // run-boundary snapshot
+	for _, v := range []Time{20, 200, 2000} {
+		h.Record(v)
+	}
+	d := h.DeltaSince(&snap)
+	if d.Count() != 3 {
+		t.Fatalf("delta count = %d, want 3", d.Count())
+	}
+	if got, want := d.Mean(), float64(20+200+2000)/3; got != want {
+		t.Fatalf("delta mean = %v, want %v", got, want)
+	}
+	// The window set a new lifetime maximum, so max is exact; the
+	// minimum (20, below the exact-bucket threshold's power ranges but
+	// above the lifetime min of 10) must come back within the bucket
+	// error bound and inside the window's real envelope.
+	if d.Max() != 2000 {
+		t.Fatalf("delta max = %d, want exact 2000", d.Max())
+	}
+	if d.Min() < 10 || d.Min() > 20 {
+		t.Fatalf("delta min = %d, want within [10,20]", d.Min())
+	}
+
+	// Empty-prefix snapshot: delta is the histogram itself, exactly.
+	var zero Histogram
+	if full := h.DeltaSince(&zero); full != h {
+		t.Fatal("delta against an empty snapshot must equal the full histogram")
+	}
+	// Empty window: zero-valued histogram.
+	if e := h.DeltaSince(&h); e.Count() != 0 || e.Quantile(0.5) != 0 {
+		t.Fatalf("empty window delta = %+v", e)
+	}
+}

@@ -34,9 +34,8 @@ import (
 	"math"
 
 	"repro/internal/apps"
-	"repro/internal/machine"
-	"repro/internal/msg"
 	"repro/internal/params"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 )
 
@@ -166,7 +165,7 @@ func (g *gen) pickSize() int {
 
 // run holds one measurement's shared state.
 type run struct {
-	m       *machine.Machine
+	m       *scenario.Machine
 	wl      params.Workload
 	n       int
 	gens    []*gen
@@ -215,8 +214,12 @@ func newRun(cfg params.Config, warm, measure sim.Time) *run {
 	if err := wl.Validate(); err != nil {
 		panic(err)
 	}
+	m, err := scenario.Build(cfg)
+	if err != nil {
+		panic(err)
+	}
 	r := &run{
-		m:       machine.New(cfg),
+		m:       m,
 		wl:      wl,
 		n:       cfg.Nodes,
 		warmEnd: warm,
@@ -261,20 +264,21 @@ func newRun(cfg params.Config, warm, measure sim.Time) *run {
 // past saturation the offered load is.
 func Run(cfg params.Config, warm, measure sim.Time) Report {
 	r := newRun(cfg, warm, measure)
-	defer r.m.Stop()
+	defer r.m.Close()
+	sc := scenario.New()
 	if r.wl.Arrival == params.ArrivalClosed {
-		r.spawnClosed()
+		r.addClosed(sc)
 	} else {
-		r.spawnOpen()
+		r.addOpen(sc)
 	}
-	r.m.Run(r.endAt)
+	tr := r.m.RunUntil(sc, r.endAt)
 
 	rep := Report{
 		OfferedMBps: r.wl.OfferedMBps * float64(r.n),
 		Sent:        r.sent,
 		Delivered:   r.delivered,
 		GoodputMBps: float64(r.winBytes) * params.CPUMHz / float64(r.endAt-r.warmEnd),
-		NetDelivery: *r.m.Stats.Histogram("net.delivery"),
+		NetDelivery: tr.Histogram("net.delivery"),
 	}
 	for id := range r.hists {
 		rep.Latency.Merge(&r.hists[id])
@@ -285,47 +289,47 @@ func Run(cfg params.Config, warm, measure sim.Time) Report {
 	return rep
 }
 
-// spawnOpen starts one open-loop process per node: it emits requests
-// on its arrival schedule and drains arrivals between them.
-func (r *run) spawnOpen() {
+// addOpen adds one open-loop program per node: it emits requests on
+// its arrival schedule and drains arrivals between them.
+func (r *run) addOpen(sc *scenario.Scenario) {
 	for id := 0; id < r.n; id++ {
 		at := id
-		r.m.Nodes[id].Msgr.Register(hOpen, func(ctx *msg.Context) {
+		r.m.Endpoint(id).Handle(hOpen, func(d *scenario.Delivery) {
 			// Consume the payload (the data ends up used in the
 			// receiver's cache, as in the bandwidth microbenchmark).
-			ctx.CPU.LoadRange(ctx.P, machine.UserBase+0x4000, ctx.Size)
-			ctx.CPU.Compute(ctx.P, serviceCycles)
-			intended := r.stamps[ctx.Src*r.n+at].Pop()
+			d.EP.Load(0x4000, d.Size)
+			d.EP.Compute(serviceCycles)
+			intended := r.stamps[d.Src*r.n+at].Pop()
 			r.delivered++
-			now := ctx.P.Now()
+			now := d.EP.Clock()
 			if now > r.warmEnd {
 				r.hists[at].Record(now - intended)
-				r.winBytes += uint64(ctx.Size)
+				r.winBytes += uint64(d.Size)
 			}
 		})
 	}
 	for id := 0; id < r.n; id++ {
 		self := id
 		g := r.gens[id]
-		r.m.Spawn(id, func(p *sim.Process, nd *machine.Node) {
-			next := p.Now() + g.nextGap()
-			for p.Now() < r.endAt {
-				if p.Now() >= next {
+		sc.At(id, func(ep *scenario.Endpoint) {
+			next := ep.Clock() + g.nextGap()
+			for ep.Clock() < r.endAt {
+				if ep.Clock() >= next {
 					dst := g.pickDst(self)
 					size := g.pickSize()
 					r.stamps[self*r.n+dst].Push(next)
 					r.sent++
-					nd.Msgr.Send(p, dst, hOpen, size, nil)
+					ep.SendTo(dst, hOpen, size, nil)
 					next += g.nextGap()
 					continue
 				}
-				nd.Msgr.DrainAvailable(p)
-				wait := next - p.Now()
+				ep.Drain()
+				wait := next - ep.Clock()
 				if wait > pollQuantum {
 					wait = pollQuantum
 				}
 				if wait > 0 {
-					p.Sleep(wait)
+					ep.Sleep(wait)
 				}
 			}
 		})
@@ -343,24 +347,25 @@ type clientSlot struct {
 	pending bool
 }
 
-// spawnClosed starts the closed-loop servers and client multiplexers.
-func (r *run) spawnClosed() {
+// addClosed adds the closed-loop servers and client multiplexers.
+func (r *run) addClosed(sc *scenario.Scenario) {
 	for id := 0; id < r.n; id++ {
 		at := id
 		g := r.gens[id]
-		r.m.Nodes[id].Msgr.Register(hReq, func(ctx *msg.Context) {
-			ctx.CPU.LoadRange(ctx.P, machine.UserBase+0x4000, ctx.Size)
-			ctx.CPU.Compute(ctx.P, serviceCycles)
+		ep := r.m.Endpoint(id)
+		ep.Handle(hReq, func(d *scenario.Delivery) {
+			d.EP.Load(0x4000, d.Size)
+			d.EP.Compute(serviceCycles)
 			r.delivered++
-			if ctx.P.Now() > r.warmEnd {
-				r.winBytes += uint64(ctx.Size)
+			if d.EP.Clock() > r.warmEnd {
+				r.winBytes += uint64(d.Size)
 			}
-			ctx.M.Send(ctx.P, ctx.Src, hRep, replyBytes, ctx.Payload)
+			d.EP.SendTo(d.Src, hRep, replyBytes, d.Payload)
 		})
-		r.m.Nodes[id].Msgr.Register(hRep, func(ctx *msg.Context) {
-			sl := ctx.Payload.(*clientSlot)
+		ep.Handle(hRep, func(d *scenario.Delivery) {
+			sl := d.Payload.(*clientSlot)
 			sl.pending = false
-			now := ctx.P.Now()
+			now := d.EP.Clock()
 			if now > r.warmEnd {
 				r.hists[at].Record(now - sl.start)
 			}
@@ -370,23 +375,23 @@ func (r *run) spawnClosed() {
 	for id := 0; id < r.n; id++ {
 		self := id
 		g := r.gens[id]
-		r.m.Spawn(id, func(p *sim.Process, nd *machine.Node) {
+		sc.At(id, func(ep *scenario.Endpoint) {
 			slots := make([]*clientSlot, r.wl.Clients)
 			for i := range slots {
 				slots[i] = &clientSlot{}
 			}
-			for p.Now() < r.endAt {
+			for ep.Clock() < r.endAt {
 				issued := false
 				for _, sl := range slots {
-					if !sl.pending && p.Now() >= sl.readyAt {
-						sl.start = p.Now()
+					if !sl.pending && ep.Clock() >= sl.readyAt {
+						sl.start = ep.Clock()
 						sl.pending = true
 						r.sent++
-						nd.Msgr.Send(p, g.pickDst(self), hReq, g.pickSize(), sl)
+						ep.SendTo(g.pickDst(self), hReq, g.pickSize(), sl)
 						issued = true
 					}
 				}
-				if nd.Msgr.DrainAvailable(p) > 0 || issued {
+				if ep.Drain() > 0 || issued {
 					continue
 				}
 				// Every session is thinking or awaiting a reply: sleep
@@ -394,14 +399,14 @@ func (r *run) spawnClosed() {
 				// so pending replies are still drained promptly.
 				wait := sim.Time(pollQuantum)
 				for _, sl := range slots {
-					if !sl.pending && sl.readyAt > p.Now() {
-						if d := sl.readyAt - p.Now(); d < wait {
+					if !sl.pending && sl.readyAt > ep.Clock() {
+						if d := sl.readyAt - ep.Clock(); d < wait {
 							wait = d
 						}
 					}
 				}
 				if wait > 0 {
-					p.Sleep(wait)
+					ep.Sleep(wait)
 				}
 			}
 		})
