@@ -21,6 +21,7 @@
 //	cnisim bench --app=spsolve --ni=CNI16Qm --bus=memory [--topology=torus]
 //	cnisim loadsweep [--arrival=poisson|bursty|closed] [--zipf=1.1] [--ni=...] [--topology=...]
 //	cnisim loadsweep --load=8 --ni=CNI512Q --topology=torus   (one load point, MB/s per node)
+//	cnisim faultsweep [--drop=1e-3] [--degrade=4] [--seed=7] [--ni=...] [--topology=...]
 //	cnisim benchjson [--out=BENCH_sim.json] [--check]
 //	cnisim all
 package main
@@ -63,6 +64,8 @@ commands:
   loadsweep         offered-load sweep to saturation with tail-latency telemetry
                     (--arrival --zipf --ni --topology --seed;
                     --load=MB/s per node measures one point instead)
+  faultsweep        goodput/tail latency vs injected drop rate under the
+                    reliable transport (--drop --degrade --seed --ni --topology)
   latency           one 2-node round-trip measurement (--ni --bus --size --topology)
   bandwidth         one 2-node bandwidth measurement (--ni --bus --size --topology)
   incast            hotspot incast: all nodes stream to node 0 (--ni --bus --nodes --size --count --topology)
@@ -111,6 +114,8 @@ func run(cmd string, args []string) error {
 		return runMicro(cmd, args)
 	case "loadsweep":
 		return runLoadSweep(args)
+	case "faultsweep":
+		return runFaultSweep(args)
 	case "bench":
 		return runBench(args)
 	case "benchjson":

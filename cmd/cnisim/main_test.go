@@ -217,6 +217,42 @@ func TestRunLoadPoint(t *testing.T) {
 	}
 }
 
+// TestRunFaultSweepCell runs one narrowed faultsweep cell end to end
+// through the CLI, including the uniform JSON export with the full
+// ladder under Extra.
+func TestRunFaultSweepCell(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy in -short mode")
+	}
+	jsonPath := filepath.Join(t.TempDir(), "f.json")
+	err := run("faultsweep", []string{
+		"--ni=CNI512Q", "--topology=flat", "--drop=0.001", "--seed=7", "--json=" + jsonPath})
+	if err != nil {
+		t.Fatalf("faultsweep cell: %v", err)
+	}
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d struct {
+		cni.Data
+		Extra []cni.FaultRow `json:"extra"`
+	}
+	if err := json.Unmarshal(raw, &d); err != nil {
+		t.Fatalf("exported JSON does not parse: %v", err)
+	}
+	if d.Name != "faultsweep" || len(d.Rows) != 1 || len(d.Extra) != 1 {
+		t.Fatalf("exported Data = name %q, %d rows, %d extra", d.Name, len(d.Rows), len(d.Extra))
+	}
+	pt := d.Extra[0].Ladder[0]
+	if pt.DropRate != 0.001 || pt.Delivered == 0 {
+		t.Fatalf("ladder point = %+v", pt)
+	}
+	if pt.Drops == 0 {
+		t.Error("drop rate 1e-3 over the fault window should inject at least one drop")
+	}
+}
+
 // TestFlagTyposFailWithValidValues pins the CLI contract from this
 // PR's satellite: a typo in --topology, --arrival, --ni, or --bus
 // must fail with an error listing the valid values, never silently
@@ -233,6 +269,14 @@ func TestFlagTyposFailWithValidValues(t *testing.T) {
 		{"loadsweep", []string{"--ni=CNI1024Q"}, []string{"CNI1024Q", "NI2w", "CNI512Q", "DMA"}},
 		{"latency", []string{"--ni=bogus"}, []string{"bogus", "CNI16Qm"}},
 		{"latency", []string{"--bus=warp"}, []string{"warp", "cache", "memory", "io"}},
+		{"faultsweep", []string{"--topology=mesh"}, []string{"mesh", "flat", "torus"}},
+		{"faultsweep", []string{"--ni=CNI1024Q"}, []string{"CNI1024Q", "NI2w", "CNI512Q", "DMA"}},
+		// Out-of-range fault parameters must name the valid range, not
+		// launch a sweep with a nonsense probability.
+		{"faultsweep", []string{"--drop=1.5"}, []string{"1.5", "[0, 1)"}},
+		{"faultsweep", []string{"--drop=-0.2"}, []string{"-0.2", "[0, 1)"}},
+		{"faultsweep", []string{"--degrade=0.5"}, []string{"0.5", ">= 1"}},
+		{"faultsweep", []string{"--drop=2", "--json=-", "--csv=-"}, []string{"stdout"}},
 	}
 	for _, c := range cases {
 		err := run(c.cmd, c.args)
@@ -280,7 +324,7 @@ func TestListMatchesExperimentNames(t *testing.T) {
 		"table1": true, "table2": true, "table3": true, "table4": true,
 		"fig6": true, "fig7": true, "fig8": true,
 		"occupancy": true, "ablation": true, "sweep": true, "dma": true,
-		"congestion": true, "loadsweep": true,
+		"congestion": true, "loadsweep": true, "faultsweep": true,
 	}
 	for _, name := range cni.ExperimentNames() {
 		base, _, _ := strings.Cut(name, "-")

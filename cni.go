@@ -166,6 +166,19 @@ func MeasureLoad(cfg Config, warm, measure Cycles) LoadReport {
 	return workload.Run(cfg, warm, measure)
 }
 
+// Faults configures the deterministic fault-injection layer: seeded
+// per-message drop/corrupt/duplicate/delay probabilities, a
+// degraded-link window, node pause/crash schedules, and the reliable
+// transport switch. The zero value injects nothing and leaves every
+// simulation byte-identical to a fault-free build.
+type Faults = params.Faults
+
+// FaultPause stalls one node's NI over a simulated-time window.
+type FaultPause = params.FaultPause
+
+// FaultCrash kills one node's NI at a simulated time.
+type FaultCrash = params.FaultCrash
+
 // SweepOptions selects what LoadSweep sweeps.
 type SweepOptions = harness.SweepOptions
 
@@ -176,6 +189,25 @@ type SweepRow = harness.SweepRow
 // goodput stops tracking it, and reports saturation throughput plus
 // tail latency at 30/60/90% of the saturation load.
 func LoadSweep(opt SweepOptions) (*Table, []SweepRow) { return harness.LoadSweep(opt) }
+
+// FaultOptions selects what FaultSweep sweeps.
+type FaultOptions = harness.FaultOptions
+
+// FaultRow is one NI × topology drop-rate ladder with its
+// graceful-degradation knee.
+type FaultRow = harness.FaultRow
+
+// FaultPoint is one measured (NI, topology, drop rate) cell.
+type FaultPoint = harness.FaultPoint
+
+// FaultLadder is the default injected drop-rate ladder.
+var FaultLadder = harness.FaultLadder
+
+// FaultSweep climbs the drop-rate ladder per NI × topology with the
+// reliable transport engaged on every rung and reports goodput, tail
+// latency, and recovery telemetry, plus each row's
+// graceful-degradation knee.
+func FaultSweep(opt FaultOptions) (*Table, []FaultRow) { return harness.FaultSweep(opt) }
 
 // AllNIs lists the five designs in the paper's order.
 var AllNIs = params.AllNIs

@@ -137,6 +137,11 @@ func Registry() []Experiment {
 				t, rows := LoadSweep(SweepOptions{})
 				return t, SweepData(t, rows)
 			}},
+		{Name: "faultsweep", Title: "Goodput and tail latency vs injected drop rate, flat vs torus",
+			Tags: ext("faults"), Run: func(RunOpts) (*Table, *Data) {
+				t, rows := FaultSweep(FaultOptions{})
+				return t, FaultData(t, FaultLadder, rows)
+			}},
 	}
 	// Stamp every result's Data.Name from the registry entry, so the
 	// name literal cannot drift between the entry and its Data.

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/bus"
 	"repro/internal/cache"
+	"repro/internal/fault"
 	"repro/internal/msg"
 	"repro/internal/network"
 	"repro/internal/nic"
@@ -87,6 +88,9 @@ func New(cfg params.Config) *Machine {
 		Stats: st,
 		Net:   newInterconnect(cfg, eng, st),
 	}
+	if cfg.Faults.Injects() {
+		m.Net.AttachFaults(fault.New(eng, st, cfg.Nodes, cfg.Faults))
+	}
 	for id := 0; id < cfg.Nodes; id++ {
 		m.Nodes = append(m.Nodes, m.buildNode(id))
 	}
@@ -128,7 +132,7 @@ func (m *Machine) buildNode(id int) *Node {
 		})
 	}
 	m.Net.Register(id, ni)
-	msgr := msg.New(id, cpu, ni, m.Stats, MsgBufBase)
+	msgr := msg.New(id, cpu, ni, m.Stats, MsgBufBase, cfg.Nodes, cfg.Faults)
 	return &Node{ID: id, Fabric: fab, Mem: mem, Cache: pc, CPU: cpu, NI: ni, Msgr: msgr}
 }
 

@@ -79,13 +79,19 @@ type Messenger struct {
 
 	sendBlocks *sim.Counter
 	swBuffered *sim.Counter
+
+	// rel is the reliable-delivery transport, nil unless the machine's
+	// fault configuration activates it (params.Faults.Active). When
+	// nil the message path is bit-identical to a pre-transport build.
+	rel *rel
 }
 
-// New creates a messenger for a node. bufAddr is a node-private DRAM
-// address used as the user-level staging buffer.
-func New(node int, cpu *proc.CPU, ni nic.NI, st *sim.Stats, bufAddr uint64) *Messenger {
+// New creates a messenger for a node of an n-node machine. bufAddr is
+// a node-private DRAM address used as the user-level staging buffer;
+// f decides whether the reliable-delivery transport engages.
+func New(node int, cpu *proc.CPU, ni nic.NI, st *sim.Stats, bufAddr uint64, n int, f params.Faults) *Messenger {
 	prefix := fmt.Sprintf("node%d.msg", node)
-	return &Messenger{
+	ms := &Messenger{
 		node:       node,
 		cpu:        cpu,
 		ni:         ni,
@@ -95,6 +101,10 @@ func New(node int, cpu *proc.CPU, ni nic.NI, st *sim.Stats, bufAddr uint64) *Mes
 		sendBlocks: st.Counter(prefix + ".send.block"),
 		swBuffered: st.Counter(prefix + ".swbuffered"),
 	}
+	if f.Active() {
+		ms.rel = newRel(ms, n, st)
+	}
+	return ms
 }
 
 // Node returns the node id.
@@ -165,7 +175,13 @@ func (ms *Messenger) sendFrags(p *sim.Process, dst, handler, size int, payload a
 		}
 		// Read the fragment out of the user buffer (cached, mostly hits).
 		ms.cpu.LoadRange(p, ms.bufAddr+uint64(f*params.MaxPayloadBytes), fsize)
-		for tries := 0; !ms.ni.TrySend(p, m); tries++ {
+		// Reliable transport: wait for stream-window space first. A
+		// TrySend first fragment gets one non-blocking check; committed
+		// fragments block like the NI flow control below.
+		if ms.rel != nil && !ms.rel.waitWindow(p, dst, block || f > 0) {
+			return false
+		}
+		for tries := 0; !ms.trySendFrame(p, m); tries++ {
 			if !block && f == 0 {
 				return false
 			}
@@ -184,6 +200,15 @@ func (ms *Messenger) sendFrags(p *sim.Process, dst, handler, size int, payload a
 	return true
 }
 
+// trySendFrame hands one network message to the NI, going through the
+// reliable transport's sequencing when it is on.
+func (ms *Messenger) trySendFrame(p *sim.Process, m *network.Msg) bool {
+	if ms.rel != nil {
+		return ms.rel.sendData(p, m)
+	}
+	return ms.ni.TrySend(p, m)
+}
+
 // drainOne pulls one message out of the NI into the user-space buffer
 // (no dispatch — that happens on a later Poll). Returns false if the
 // NI had nothing.
@@ -191,6 +216,13 @@ func (ms *Messenger) drainOne(p *sim.Process) bool {
 	m := ms.ni.TryRecv(p)
 	if m == nil {
 		return false
+	}
+	if ms.rel != nil && m.IsAck {
+		// Acks are transport control traffic: processed on the spot
+		// (ack bookkeeping never touches the NI, so this is safe even
+		// inside a blocked send) and never surfaced to user space.
+		ms.rel.onAckFrame(p, m)
+		return true
 	}
 	// Copy into the user-space buffer.
 	ms.cpu.StoreRange(p, ms.bufAddr+uint64(len(ms.swBuf)%64)*params.NetMsgBytes, m.Size+params.HeaderBytes)
@@ -204,6 +236,9 @@ func (ms *Messenger) drainOne(p *sim.Process) bool {
 // user message. It reports whether a network message was consumed.
 func (ms *Messenger) Poll(p *sim.Process) bool {
 	ms.cpu.Compute(p, PollLoopCycles)
+	if ms.rel != nil {
+		ms.rel.tick(p)
+	}
 	var m *network.Msg
 	if len(ms.swBuf) > 0 {
 		m = ms.swBuf[0]
@@ -212,11 +247,32 @@ func (ms *Messenger) Poll(p *sim.Process) bool {
 		ms.cpu.LoadRange(p, ms.bufAddr, m.Size+params.HeaderBytes)
 	} else if m = ms.ni.TryRecv(p); m == nil {
 		return false
+	} else if ms.rel != nil && m.IsAck {
+		ms.rel.onAckFrame(p, m)
+		return true
 	} else {
 		// Copy payload from the NI queue image to the user buffer.
 		ms.cpu.StoreRange(p, ms.bufAddr, m.Size)
 	}
+	if ms.rel != nil {
+		return ms.relDeliver(p, m)
+	}
 	ms.accept(p, m)
+	return true
+}
+
+// relDeliver runs a data frame through the receive-side transport:
+// sequence check, in-order dispatch, release of any buffered
+// successors it unblocks, then ack batching.
+func (ms *Messenger) relDeliver(p *sim.Process, m *network.Msg) bool {
+	if !ms.rel.onData(p, m) {
+		return true // consumed by the transport (dup/out-of-order/corrupt)
+	}
+	ms.accept(p, m)
+	for next := ms.rel.nextReady(m.Src); next != nil; next = ms.rel.nextReady(m.Src) {
+		ms.accept(p, next)
+	}
+	ms.rel.ackProgress(p, m.Src)
 	return true
 }
 

@@ -1,0 +1,116 @@
+package msg
+
+import (
+	"testing"
+
+	"repro/internal/network"
+	"repro/internal/params"
+)
+
+// TestHeaderRoundTrip pins the wire codec: every field the 12-byte
+// layout represents survives encode→decode, for data and ack frames.
+func TestHeaderRoundTrip(t *testing.T) {
+	cases := []network.Msg{
+		{Src: 0, Dst: 1, Size: 0, Handler: 0},
+		{Src: 3, Dst: 14, Size: 244, Handler: 200, Seq: 1},
+		{Src: 65535, Dst: 0, Size: 65535, Handler: 255, Seq: 1<<32 - 1},
+		{Src: 5, Dst: 6, IsAck: true, Ack: 42},
+		{Src: 5, Dst: 6, IsAck: true, Ack: 0},
+	}
+	for _, want := range cases {
+		var b [params.HeaderBytes]byte
+		EncodeHeader(&want, &b)
+		var got network.Msg
+		DecodeHeader(&b, &got)
+		if got.Src != want.Src || got.Dst != want.Dst || got.Size != want.Size ||
+			got.Handler != want.Handler || got.IsAck != want.IsAck ||
+			got.Seq != want.Seq || got.Ack != want.Ack {
+			t.Errorf("round trip %+v -> %+v", want, got)
+		}
+	}
+}
+
+// TestChecksumDetectsSingleByteChange pins the transport's corruption
+// detection: flipping any single header byte to any other value
+// changes the Fletcher-32 sum (the property the doc comment claims).
+func TestChecksumDetectsSingleByteChange(t *testing.T) {
+	m := network.Msg{Src: 3, Dst: 7, Size: 128, Handler: 9, Seq: 77}
+	var b [params.HeaderBytes]byte
+	EncodeHeader(&m, &b)
+	base := Fletcher32(b[:])
+	for i := range b {
+		orig := b[i]
+		for delta := 1; delta < 256; delta += 37 { // sampled deltas per byte
+			b[i] = orig + byte(delta)
+			if Fletcher32(b[:]) == base {
+				t.Fatalf("byte %d changed %#x->%#x left the checksum unchanged", i, orig, b[i])
+			}
+		}
+		b[i] = orig
+	}
+	if Fletcher32(b[:]) != base {
+		t.Fatal("restoring the header changed the checksum")
+	}
+}
+
+// TestChecksumCatchesInjectedCorruption pins the fault-model contract:
+// the injector's checksum scramble (XOR with network.CorruptMask)
+// never matches the recomputed header checksum.
+func TestChecksumCatchesInjectedCorruption(t *testing.T) {
+	m := network.Msg{Src: 1, Dst: 2, Size: 64, Handler: 5, Seq: 12}
+	m.Checksum = HeaderChecksum(&m)
+	if m.Checksum != HeaderChecksum(&m) {
+		t.Fatal("checksum not reproducible")
+	}
+	m.Checksum ^= network.CorruptMask
+	if m.Checksum == HeaderChecksum(&m) {
+		t.Fatal("corruption mask produced a valid checksum")
+	}
+}
+
+// TestWireZeroAlloc pins the codec and checksum at zero allocations —
+// the transport stamps and verifies every frame with them.
+func TestWireZeroAlloc(t *testing.T) {
+	m := network.Msg{Src: 1, Dst: 2, Size: 64, Handler: 5, Seq: 12}
+	allocs := testing.AllocsPerRun(1000, func() {
+		m.Checksum = HeaderChecksum(&m)
+	})
+	if allocs != 0 {
+		t.Errorf("HeaderChecksum allocates %.2f objects/op, want 0", allocs)
+	}
+}
+
+// FuzzChecksum fuzzes the codec + checksum pipeline: decode→encode is
+// the identity on canonicalised headers, and any single-byte
+// corruption of the encoded header is detected by Fletcher-32.
+func FuzzChecksum(f *testing.F) {
+	f.Add(uint16(0), uint16(1), uint16(64), byte(5), byte(0), uint32(1), byte(3), byte(0x80))
+	f.Add(uint16(15), uint16(3), uint16(244), byte(200), byte(1), uint32(1<<31), byte(11), byte(1))
+	f.Fuzz(func(t *testing.T, src, dst, size uint16, handler, flags byte, seq uint32, pos, delta byte) {
+		var b [params.HeaderBytes]byte
+		m := network.Msg{
+			Src: int(src), Dst: int(dst), Size: int(size),
+			Handler: int(handler), Seq: uint64(seq),
+		}
+		if flags&1 != 0 {
+			m.IsAck, m.Ack, m.Seq = true, uint64(seq), 0
+		}
+		EncodeHeader(&m, &b)
+		var rt network.Msg
+		DecodeHeader(&b, &rt)
+		var b2 [params.HeaderBytes]byte
+		EncodeHeader(&rt, &b2)
+		if b != b2 {
+			t.Fatalf("decode->encode not the identity: % x vs % x", b, b2)
+		}
+		sum := Fletcher32(b[:])
+		i := int(pos) % len(b)
+		if delta == 0 {
+			delta = 1
+		}
+		b[i] += delta
+		if Fletcher32(b[:]) == sum {
+			t.Fatalf("single-byte corruption at %d (delta %d) undetected", i, delta)
+		}
+	})
+}

@@ -1,0 +1,100 @@
+package network
+
+import (
+	"repro/internal/fault"
+	"repro/internal/sim"
+)
+
+// CorruptMask is XORed into a message's checksum by an injected
+// corruption. The fault model is "ideal checksum": any corruption is
+// detectable, so scrambling the checksum itself (rather than payload
+// bytes the simulator doesn't carry) models a frame whose contents no
+// longer match its checksum with detection probability 1.
+const CorruptMask uint32 = 0xDEAD_BEEF
+
+// AttachFaults hooks the injector into the shared fabric edge. Both
+// fabrics inherit it: all per-message fault decisions are evaluated
+// once, at the destination edge (arrive), which keeps the model
+// fabric-agnostic; the fabrics themselves only consult the injector
+// for the time-varying degrade window in their transit models.
+func (ep *endpoints) AttachFaults(in *fault.Injector) {
+	ep.inj = in
+	ep.pauseWake = make([]bool, ep.n)
+}
+
+// passFaults applies the per-message fault decision to m at the
+// destination edge. It reports whether m should continue to delivery;
+// a false return means m was consumed here (dropped, or rescheduled
+// for delayed arrival).
+//
+// Dropped messages still return their window credit: the sliding
+// window models link-level credit flow control the fabric owns, so
+// losing a data frame does not leak a credit — end-to-end reliability
+// is the messaging transport's job, which is exactly the layering the
+// retransmit tier depends on (a lost frame must not wedge the window).
+func (ep *endpoints) passFaults(m *Msg) bool {
+	in := ep.inj
+	if m.Dup {
+		// A duplicate copy was planned once already; it is delivered
+		// as-is (never dropped, corrupted, or re-duplicated).
+		return true
+	}
+	if in.Crashed(m.Src) || in.Crashed(m.Dst) {
+		in.NoteCrashDrop()
+		ep.creditDropped(m)
+		return false
+	}
+	pl := in.Plan(m.Src, m.Dst)
+	if pl.Drop {
+		ep.creditDropped(m)
+		return false
+	}
+	if pl.Corrupt {
+		m.Checksum ^= CorruptMask
+	}
+	if pl.Dup {
+		d := *m
+		d.Dup = true
+		ep.eng.Schedule(0, func() { ep.arrive(&d) })
+	}
+	if pl.Delay > 0 {
+		// Reordering: m lands Delay cycles late, behind messages that
+		// arrived after it. Push directly (re-entering arrive would
+		// draw a second fault plan for the same message).
+		ep.eng.Schedule(pl.Delay, func() {
+			ep.arrivals[m.Dst].Push(m)
+			ep.drain(m.Dst)
+		})
+		return false
+	}
+	return true
+}
+
+// creditDropped returns the window credit of a message the fault
+// layer consumed, on the same schedule a delivered message would.
+func (ep *endpoints) creditDropped(m *Msg) {
+	ep.eng.Schedule(ep.ackLatency(m), ep.ackFns[m.Src*ep.n+m.Dst])
+}
+
+// stallPaused parks dst's arrival queue for the remainder of dst's
+// pause window and arranges a single drain retry when it closes.
+func (ep *endpoints) stallPaused(dst int) {
+	ep.inj.NotePaused()
+	if ep.pauseWake[dst] {
+		return
+	}
+	ep.pauseWake[dst] = true
+	ep.eng.ScheduleAt(ep.inj.PauseEnd(dst), func() {
+		ep.pauseWake[dst] = false
+		ep.drain(dst)
+	})
+}
+
+// admitFaults stalls the sending device process while its own node is
+// paused — a paused NI neither delivers nor injects.
+func (ep *endpoints) admitFaults(p *sim.Process, m *Msg) {
+	for ep.inj.Paused(m.Src) {
+		ep.inj.NotePaused()
+		p.Sleep(ep.inj.PauseEnd(m.Src) - ep.eng.Now())
+	}
+}

@@ -20,6 +20,7 @@ package network
 import (
 	"fmt"
 
+	"repro/internal/fault"
 	"repro/internal/params"
 	"repro/internal/sim"
 )
@@ -49,6 +50,25 @@ type Msg struct {
 	// sliding-window stall) and drives the delivery-latency telemetry;
 	// it costs nothing in simulated time.
 	SentAt sim.Time
+
+	// Seq is the reliable-transport per-(src,dst) stream sequence
+	// number, 1-based; 0 means the frame is unsequenced (transport off,
+	// or an ack frame).
+	Seq uint64
+	// IsAck marks a transport-level cumulative-acknowledgement frame
+	// (Seq-free; its Ack field is the highest contiguously received
+	// data sequence number).
+	IsAck bool
+	// Ack carries the cumulative acknowledgement on IsAck frames.
+	Ack uint64
+	// Checksum covers the header fields end to end (msg.HeaderChecksum);
+	// injected corruption scrambles it and the transport's verify
+	// rejects the frame.
+	Checksum uint32
+	// Dup marks a fault-injected duplicate copy. Internal to the fabric
+	// edge: duplicates return no window credit and are never re-planned
+	// for faults.
+	Dup bool
 }
 
 // MsgBlocks returns the queue blocks consumed by a network message
@@ -104,6 +124,10 @@ type Interconnect interface {
 	Pending(dst int) int
 	// InFlight reports unacked messages from src to dst (diagnostics).
 	InFlight(src, dst int) int
+	// AttachFaults hooks a fault injector into the fabric edge. When
+	// never called the fault path is fully disabled and the fabric's
+	// behaviour is bit-identical to a build without the fault layer.
+	AttachFaults(in *fault.Injector)
 }
 
 var (
@@ -144,6 +168,13 @@ type endpoints struct {
 	// ackLatency returns the credit-return delay for an accepted
 	// message (set once by the embedding fabric).
 	ackLatency func(m *Msg) sim.Time
+
+	// inj is the fault injector, nil when faults are off — the zero-
+	// fault path pays one nil check per arrival and nothing else.
+	inj *fault.Injector
+	// pauseWake[dst] records that a drain-retry event is already
+	// scheduled for dst's current pause window.
+	pauseWake []bool
 }
 
 // init wires the shared edge state for n nodes.
@@ -186,6 +217,9 @@ func (ep *endpoints) CanInject(src, dst int) bool {
 // admit blocks p while the window to m.Dst is full, then charges the
 // message against the window and the traffic counters.
 func (ep *endpoints) admit(p *sim.Process, m *Msg) {
+	if ep.inj != nil {
+		ep.admitFaults(p, m)
+	}
 	slot := m.Src*ep.n + m.Dst
 	for ep.inFlight[slot] >= ep.window {
 		ep.windowStalls.Inc()
@@ -199,12 +233,19 @@ func (ep *endpoints) admit(p *sim.Process, m *Msg) {
 
 // arrive queues m at the destination and attempts delivery.
 func (ep *endpoints) arrive(m *Msg) {
+	if ep.inj != nil && !ep.passFaults(m) {
+		return
+	}
 	ep.arrivals[m.Dst].Push(m)
 	ep.drain(m.Dst)
 }
 
 // drain offers queued messages to the port in order until it refuses.
 func (ep *endpoints) drain(dst int) {
+	if ep.inj != nil && ep.inj.Paused(dst) {
+		ep.stallPaused(dst)
+		return
+	}
 	port := ep.ports[dst]
 	for ep.arrivals[dst].Len() > 0 {
 		m := ep.arrivals[dst].Peek()
@@ -213,6 +254,11 @@ func (ep *endpoints) drain(dst int) {
 			return
 		}
 		ep.arrivals[dst].Pop()
+		if m.Dup {
+			// The original copy already returned this message's window
+			// credit; a duplicate must not return it twice.
+			continue
+		}
 		ep.deliveryHist.Record(ep.eng.Now() - m.SentAt)
 		// Return the window credit to the sender after the ack latency.
 		ep.eng.Schedule(ep.ackLatency(m), ep.ackFns[m.Src*ep.n+m.Dst])
@@ -260,6 +306,15 @@ func New(e *sim.Engine, st *sim.Stats, n int) *Flat {
 // port unblocks.
 func (f *Flat) Inject(p *sim.Process, m *Msg) {
 	f.admit(p, m)
+	if f.inj != nil {
+		// Fault mode: the degrade window makes latency time-varying, so
+		// the constant-latency transit FIFO (which relies on arrivals
+		// firing in injection order) cannot be used. Schedule a
+		// per-message closure instead; the allocation is the price of
+		// running with faults on.
+		f.eng.Schedule(f.inj.Latency(f.latency), func() { f.arrive(m) })
+		return
+	}
 	f.transit.Push(m)
 	f.eng.Schedule(f.latency, f.arriveFn)
 }

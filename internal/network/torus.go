@@ -166,8 +166,20 @@ func (t *Torus) forward(m *Msg, node int) {
 func (t *Torus) transmit(li int, m *Msg) {
 	lk := &t.links[li]
 	lk.busy = true
-	lk.flight.Push(m)
 	t.hops.Inc()
+	if t.inj != nil {
+		// Fault mode: the degrade window scales occupancy and hop
+		// latency over time, so the per-link flight FIFO (which relies
+		// on arrivals firing in transmit order) cannot be used. The
+		// release path is safe — the busy flag serialises it — but the
+		// arrival needs a per-message closure.
+		occ := t.inj.Occupancy(t.occupancy)
+		next := t.neighbor(li/numDirs, li%numDirs)
+		t.eng.Schedule(occ, t.releaseFns[li])
+		t.eng.Schedule(occ+t.inj.Latency(t.hopLat), func() { t.forward(m, next) })
+		return
+	}
+	lk.flight.Push(m)
 	t.eng.Schedule(t.occupancy, t.releaseFns[li])
 	t.eng.Schedule(t.occupancy+t.hopLat, t.arriveFns[li])
 }

@@ -1,0 +1,105 @@
+package params
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFaultsZeroValueInert pins the off-by-default guarantee the
+// conformance suite builds on: the zero value neither injects nor
+// activates the transport, and validates on any machine.
+func TestFaultsZeroValueInert(t *testing.T) {
+	var f Faults
+	if f.Injects() {
+		t.Error("zero-value Faults reports Injects")
+	}
+	if f.Active() {
+		t.Error("zero-value Faults reports Active")
+	}
+	if err := f.Validate(16); err != nil {
+		t.Errorf("zero-value Faults fails validation: %v", err)
+	}
+	cfg := Config{Nodes: 2, NI: CNI512Q, Bus: MemoryBus}
+	if name := cfg.Name(); strings.Contains(name, "faults") {
+		t.Errorf("fault-free config name %q mentions faults", name)
+	}
+}
+
+func TestFaultsActivation(t *testing.T) {
+	cases := []struct {
+		name            string
+		f               Faults
+		injects, active bool
+	}{
+		{"transport only", Faults{Transport: true}, false, true},
+		{"drop", Faults{DropProb: 0.1}, true, true},
+		{"corrupt", Faults{CorruptProb: 0.1}, true, true},
+		{"dup", Faults{DupProb: 0.1}, true, true},
+		{"delay", Faults{DelayProb: 0.1}, true, true},
+		{"degrade", Faults{DegradeFrom: 10, DegradeUntil: 20, DegradeLatencyX: 2}, true, true},
+		{"pause", Faults{Pauses: []FaultPause{{Node: 0, From: 1, Until: 2}}}, true, true},
+		{"crash", Faults{Crashes: []FaultCrash{{Node: 0, At: 5}}}, true, true},
+	}
+	for _, c := range cases {
+		if got := c.f.Injects(); got != c.injects {
+			t.Errorf("%s: Injects = %v, want %v", c.name, got, c.injects)
+		}
+		if got := c.f.Active(); got != c.active {
+			t.Errorf("%s: Active = %v, want %v", c.name, got, c.active)
+		}
+	}
+}
+
+func TestFaultsValidate(t *testing.T) {
+	bad := []struct {
+		name string
+		f    Faults
+	}{
+		{"prob too high", Faults{DropProb: 1}},
+		{"prob negative", Faults{CorruptProb: -0.1}},
+		{"degrade multiplier < 1", Faults{DegradeFrom: 1, DegradeUntil: 2, DegradeLatencyX: 0.5}},
+		{"degrade window inverted", Faults{DegradeFrom: 5, DegradeUntil: 5}},
+		{"pause node out of range", Faults{Pauses: []FaultPause{{Node: 16, From: 1, Until: 2}}}},
+		{"pause window empty", Faults{Pauses: []FaultPause{{Node: 0, From: 2, Until: 2}}}},
+		{"crash node negative", Faults{Crashes: []FaultCrash{{Node: -1, At: 5}}}},
+	}
+	for _, c := range bad {
+		if err := c.f.Validate(16); err == nil {
+			t.Errorf("%s: Validate accepted %+v", c.name, c.f)
+		}
+	}
+	ok := Faults{
+		Seed: 3, DropProb: 0.999, DupProb: 0,
+		DegradeFrom: 10, DegradeUntil: 20, DegradeBandwidthX: 8,
+		Pauses:  []FaultPause{{Node: 15, From: 1, Until: 2}},
+		Crashes: []FaultCrash{{Node: 0, At: 0}},
+	}
+	if err := ok.Validate(16); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+	// Config.Validate must thread fault validation through.
+	cfg := Config{Nodes: 2, NI: CNI512Q, Bus: MemoryBus, Faults: Faults{DropProb: 2}}
+	if err := cfg.Validate(); err == nil {
+		t.Error("Config.Validate accepted an invalid fault spec")
+	}
+}
+
+func TestFaultsDefaults(t *testing.T) {
+	var f Faults
+	if got := f.Delay(); got != FaultDelayCycles {
+		t.Errorf("default Delay = %d, want %d", got, FaultDelayCycles)
+	}
+	if f.LatencyX() != 1 || f.BandwidthX() != 1 {
+		t.Errorf("zero multipliers = %v, %v; want 1, 1", f.LatencyX(), f.BandwidthX())
+	}
+	f = Faults{DelayCycles: 77, DegradeLatencyX: 3, DegradeBandwidthX: 2}
+	if f.Delay() != 77 || f.LatencyX() != 3 || f.BandwidthX() != 2 {
+		t.Errorf("explicit knobs not honoured: %d %v %v", f.Delay(), f.LatencyX(), f.BandwidthX())
+	}
+	// Injecting configurations are visible in the config name (golden
+	// and telemetry files must not collide with fault-free runs).
+	cfg := Config{Nodes: 2, NI: CNI512Q, Bus: MemoryBus, Faults: Faults{DropProb: 0.01}}
+	if name := cfg.Name(); !strings.Contains(name, "faults") {
+		t.Errorf("injecting config name %q does not mention faults", name)
+	}
+}

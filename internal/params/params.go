@@ -320,6 +320,153 @@ func (w Workload) Validate() error {
 	return nil
 }
 
+// FaultPause stalls one node's NI for the cycle window [From, Until):
+// arrivals queue at the fabric edge and the node's own injections
+// stall until the window closes (a device hiccup — link retrain, OS
+// stall — not a processor halt; the CPU keeps running).
+type FaultPause struct {
+	Node        int
+	From, Until uint64
+}
+
+// FaultCrash kills one node's NI from cycle At onward: every message
+// to or from the node is dropped at the fabric edge. The reliable
+// transport's retry budget eventually declares the peer's stream dead
+// and accounts undeliverable messages as such.
+type FaultCrash struct {
+	Node int
+	At   uint64
+}
+
+// Fault-model defaults applied when a knob is left zero.
+const (
+	// FaultDelayCycles is the default extra in-flight delay given to a
+	// reorder-selected message — several flat-network traversals, so
+	// the delayed message reliably lands behind its successors.
+	FaultDelayCycles = 4 * NetLatency
+)
+
+// Faults configures the deterministic fault-injection layer
+// (internal/fault) and the reliable-delivery transport tier
+// (internal/msg). The zero value means "off": no injector is built,
+// the transport stays out of the message path, and every run is
+// byte-identical to a pre-fault simulator. All randomness comes from
+// Seed through a fault-private RNG stream that never touches the
+// workload generators' streams.
+type Faults struct {
+	// Seed drives every fault draw (0 is remapped to 1). Identical
+	// seeds give byte-identical fault schedules.
+	Seed uint64
+
+	// Per-message fault probabilities, evaluated once per network
+	// message at the destination fabric edge, in this order (at most
+	// one fires per message): drop, corrupt, duplicate, delay.
+	DropProb    float64 // message vanishes in transit
+	CorruptProb float64 // delivered with a checksum-detectable flip
+	DupProb     float64 // delivered twice (the copy carries no window credit)
+	DelayProb   float64 // held DelayCycles extra, landing out of order
+
+	// DelayCycles is the extra in-flight time of a delay-selected
+	// message; 0 uses FaultDelayCycles.
+	DelayCycles uint64
+
+	// Degraded-link window: during [DegradeFrom, DegradeUntil) every
+	// link runs at LatencyX times its latency and 1/BandwidthX of its
+	// bandwidth (the torus link occupancy is multiplied by BandwidthX;
+	// the flat fabric has no serialisation, so only latency applies).
+	// A multiplier of 0 means 1 (unchanged).
+	DegradeFrom, DegradeUntil uint64
+	DegradeLatencyX           float64
+	DegradeBandwidthX         float64
+
+	// Pauses and Crashes are per-node schedules.
+	Pauses  []FaultPause
+	Crashes []FaultCrash
+
+	// Transport forces the reliable-delivery tier on even with no
+	// faults configured, so a fault sweep's zero-fault rung measures
+	// the same transport (isolating fault impact from the transport's
+	// own overhead). Any injected fault enables the transport
+	// implicitly.
+	Transport bool
+}
+
+// Injects reports whether any fault can actually fire — i.e. whether
+// the machine must build a fault injector. The zero value injects
+// nothing.
+func (f *Faults) Injects() bool {
+	return f.DropProb > 0 || f.CorruptProb > 0 || f.DupProb > 0 || f.DelayProb > 0 ||
+		f.DegradeUntil > f.DegradeFrom || len(f.Pauses) > 0 || len(f.Crashes) > 0
+}
+
+// Active reports whether the fault subsystem participates in the run
+// at all (injector, reliable transport, or both). False for the zero
+// value — the byte-identical off-by-default guarantee.
+func (f *Faults) Active() bool { return f.Transport || f.Injects() }
+
+// Delay returns the effective reorder delay in cycles.
+func (f *Faults) Delay() uint64 {
+	if f.DelayCycles > 0 {
+		return f.DelayCycles
+	}
+	return FaultDelayCycles
+}
+
+// LatencyX returns the effective degraded-window latency multiplier.
+func (f *Faults) LatencyX() float64 {
+	if f.DegradeLatencyX > 1 {
+		return f.DegradeLatencyX
+	}
+	return 1
+}
+
+// BandwidthX returns the effective degraded-window bandwidth divisor.
+func (f *Faults) BandwidthX() float64 {
+	if f.DegradeBandwidthX > 1 {
+		return f.DegradeBandwidthX
+	}
+	return 1
+}
+
+// Validate reports fault-spec errors for a machine of n nodes.
+func (f *Faults) Validate(nodes int) error {
+	for _, pr := range []struct {
+		name string
+		v    float64
+	}{
+		{"DropProb", f.DropProb}, {"CorruptProb", f.CorruptProb},
+		{"DupProb", f.DupProb}, {"DelayProb", f.DelayProb},
+	} {
+		if pr.v < 0 || pr.v >= 1 {
+			return fmt.Errorf("params: fault %s must be a probability in [0, 1), have %v", pr.name, pr.v)
+		}
+	}
+	if f.DegradeUntil > f.DegradeFrom {
+		if f.DegradeLatencyX < 0 || (f.DegradeLatencyX != 0 && f.DegradeLatencyX < 1) {
+			return fmt.Errorf("params: DegradeLatencyX must be >= 1 (or 0 for unchanged), have %v", f.DegradeLatencyX)
+		}
+		if f.DegradeBandwidthX < 0 || (f.DegradeBandwidthX != 0 && f.DegradeBandwidthX < 1) {
+			return fmt.Errorf("params: DegradeBandwidthX must be >= 1 (or 0 for unchanged), have %v", f.DegradeBandwidthX)
+		}
+	} else if f.DegradeUntil != 0 || f.DegradeFrom != 0 {
+		return fmt.Errorf("params: degrade window [%d, %d) is empty or inverted", f.DegradeFrom, f.DegradeUntil)
+	}
+	for _, p := range f.Pauses {
+		if p.Node < 0 || p.Node >= nodes {
+			return fmt.Errorf("params: pause for node %d outside [0, %d)", p.Node, nodes)
+		}
+		if p.Until <= p.From {
+			return fmt.Errorf("params: pause window [%d, %d) for node %d is empty or inverted", p.From, p.Until, p.Node)
+		}
+	}
+	for _, c := range f.Crashes {
+		if c.Node < 0 || c.Node >= nodes {
+			return fmt.Errorf("params: crash for node %d outside [0, %d)", c.Node, nodes)
+		}
+	}
+	return nil
+}
+
 // TorusDims factors n nodes into the most nearly square W×H torus
 // (W ≤ H, W·H = n). Any n ≥ 1 works; primes degrade to a 1×n ring.
 func TorusDims(n int) (w, h int) {
@@ -579,6 +726,11 @@ type Config struct {
 	// the paper's fixed micro/macrobenchmarks; machine construction
 	// ignores it.
 	Workload *Workload
+
+	// Faults configures the deterministic fault-injection layer and
+	// the reliable-delivery transport (internal/fault, internal/msg).
+	// The zero value is off and byte-identical to a pre-fault run.
+	Faults Faults
 }
 
 // Validate reports configuration errors, including the paper's
@@ -607,6 +759,9 @@ func (c Config) Validate() error {
 		if err := c.Workload.Validate(); err != nil {
 			return err
 		}
+	}
+	if err := c.Faults.Validate(c.Nodes); err != nil {
+		return err
 	}
 	return nil
 }
@@ -645,6 +800,9 @@ func (c Config) Name() string {
 	}
 	if c.Topology != TopoFlat {
 		s += "+" + c.Topology.String()
+	}
+	if c.Faults.Injects() {
+		s += "+faults"
 	}
 	return s
 }

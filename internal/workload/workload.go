@@ -78,6 +78,14 @@ type Report struct {
 	// ("net.delivery"), whole run — the network-layer view under the
 	// same load.
 	NetDelivery sim.Histogram
+	// Fault and transport telemetry, whole run; all zero when
+	// cfg.Faults is inactive. Drops counts frames the injector
+	// consumed, Retransmits and DupSuppressed the transport's recovery
+	// work, Dead the frames written off after retry-budget exhaustion.
+	Drops, Retransmits, DupSuppressed, Dead uint64
+	// Recovery is the send-to-ack latency distribution of frames that
+	// needed at least one retransmit ("net.recovery").
+	Recovery sim.Histogram
 }
 
 // gen is one node's arrival-process state. Its sampling methods are
@@ -274,11 +282,16 @@ func Run(cfg params.Config, warm, measure sim.Time) Report {
 	tr := r.m.RunUntil(sc, r.endAt)
 
 	rep := Report{
-		OfferedMBps: r.wl.OfferedMBps * float64(r.n),
-		Sent:        r.sent,
-		Delivered:   r.delivered,
-		GoodputMBps: float64(r.winBytes) * params.CPUMHz / float64(r.endAt-r.warmEnd),
-		NetDelivery: tr.Histogram("net.delivery"),
+		OfferedMBps:   r.wl.OfferedMBps * float64(r.n),
+		Sent:          r.sent,
+		Delivered:     r.delivered,
+		GoodputMBps:   float64(r.winBytes) * params.CPUMHz / float64(r.endAt-r.warmEnd),
+		NetDelivery:   tr.Histogram("net.delivery"),
+		Drops:         tr.Counter("net.drops"),
+		Retransmits:   tr.Counter("net.retransmits"),
+		DupSuppressed: tr.Counter("net.dup_suppressed"),
+		Dead:          tr.Counter("net.dead"),
+		Recovery:      tr.Histogram("net.recovery"),
 	}
 	for id := range r.hists {
 		rep.Latency.Merge(&r.hists[id])
