@@ -160,3 +160,31 @@ func BenchmarkGoroutineCQ(b *testing.B) {
 		q.TryDequeue()
 	}
 }
+
+// benchLoadsweepPoint runs one loadsweep load point — the same
+// machine, workload, and warm/measure windows as a sweep rung at the
+// torus knee — and reports simulator throughput as delivered user
+// messages per wall-clock second. The simulated work is fixed, so any
+// host-side speedup of the simulator shows up linearly in the metric.
+func benchLoadsweepPoint(b *testing.B, topo Topology) {
+	b.Helper()
+	wl := DefaultWorkload()
+	wl.OfferedMBps = LoadsweepBenchPerNodeMBps
+	cfg := Config{Nodes: LoadsweepBenchNodes, NI: CNI512Q, Bus: MemoryBus,
+		Topology: topo, Workload: &wl}
+	var delivered uint64
+	for i := 0; i < b.N; i++ {
+		rep := MeasureLoad(cfg, LoadsweepBenchWarm, LoadsweepBenchMeasure)
+		delivered = rep.Delivered
+	}
+	b.ReportMetric(float64(delivered)*float64(b.N)/b.Elapsed().Seconds(), "msgs/sec")
+}
+
+// BenchmarkTorusLoadsweep is the heaviest-path benchmark: a 16-node
+// CNI512Q torus loadsweep point at the saturation knee. The benchjson
+// torus_loadsweep_events_per_sec canary runs exactly this workload.
+func BenchmarkTorusLoadsweep(b *testing.B) { benchLoadsweepPoint(b, TopoTorus) }
+
+// BenchmarkFlatLoadsweep is the flat-fabric twin of
+// BenchmarkTorusLoadsweep (same workload, contention-free fabric).
+func BenchmarkFlatLoadsweep(b *testing.B) { benchLoadsweepPoint(b, TopoFlat) }

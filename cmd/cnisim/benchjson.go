@@ -28,6 +28,19 @@ type benchReport struct {
 	EngineEventsPerSec   float64 `json:"engine_events_per_sec"`
 	EngineAllocsPerEvent float64 `json:"engine_allocs_per_event"`
 
+	// Heaviest-path simulator throughput: one torus loadsweep point at
+	// the saturation knee (the BenchmarkTorusLoadsweep workload),
+	// reported as delivered user messages per wall-clock second. The
+	// delivered count is simulated and exact — --check diffs it — while
+	// the per-second rate is host perf (--check only requires the
+	// committed snapshot to carry one, so the metric cannot silently
+	// vanish). PreSoA is the same metric measured on the pre-SoA
+	// pre-direct-handoff simulator on the reference host, kept as the
+	// denominator of the recorded speedup.
+	TorusLoadsweepEventsPerSec  float64 `json:"torus_loadsweep_events_per_sec"`
+	TorusLoadsweepDeliveredMsgs uint64  `json:"torus_loadsweep_delivered_msgs"`
+	TorusLoadsweepPreSoAPerSec  float64 `json:"torus_loadsweep_events_per_sec_pre_soa"`
+
 	// Simulated headline results (determinism canaries).
 	RTT64BCNI512QCycles uint64  `json:"rtt_64B_cni512q_cycles"`
 	BW4KBCNI512QMBps    float64 `json:"bw_4096B_cni512q_mbps"`
@@ -77,6 +90,24 @@ func engineThroughput() (eps, allocsPerEvent float64) {
 		float64(after.Mallocs-before.Mallocs) / float64(events)
 }
 
+// preSoAEventsPerSec is torus_loadsweep_events_per_sec measured at the
+// commit before the struct-of-arrays + direct-handoff scheduler work,
+// on the reference host that produced the committed BENCH_sim.json.
+const preSoAEventsPerSec = 7128.0
+
+// torusLoadsweepThroughput runs the heaviest-path load point once and
+// returns host throughput plus the (deterministic) delivered count.
+func torusLoadsweepThroughput() (eps float64, delivered uint64) {
+	wl := cni.DefaultWorkload()
+	wl.OfferedMBps = cni.LoadsweepBenchPerNodeMBps
+	cfg := cni.Config{Nodes: cni.LoadsweepBenchNodes, NI: cni.CNI512Q,
+		Bus: cni.MemoryBus, Topology: cni.TopoTorus, Workload: &wl}
+	start := time.Now()
+	rep := cni.MeasureLoad(cfg, cni.LoadsweepBenchWarm, cni.LoadsweepBenchMeasure)
+	wall := time.Since(start).Seconds()
+	return float64(rep.Delivered) / wall, rep.Delivered
+}
+
 func timeTable(f func() *harness.Table) float64 {
 	start := time.Now()
 	f()
@@ -94,6 +125,8 @@ func canaries(r *benchReport) {
 	_, rows := cni.LoadSweep(cni.SweepOptions{NIs: []cni.NIKind{cni.CNI512Q}})
 	r.LoadsweepFlatKneeMBps = rows[0].KneeOfferedMBps
 	r.LoadsweepTorusKneeMBps = rows[1].KneeOfferedMBps
+	r.TorusLoadsweepEventsPerSec, r.TorusLoadsweepDeliveredMsgs = torusLoadsweepThroughput()
+	r.TorusLoadsweepPreSoAPerSec = preSoAEventsPerSec
 }
 
 // checkCanaries regenerates the simulated canaries and diffs them
@@ -130,6 +163,13 @@ func checkCanaries(path string) error {
 	if fresh.LoadsweepTorusKneeMBps != committed.LoadsweepTorusKneeMBps {
 		drift = append(drift, fmt.Sprintf("loadsweep_torus_knee_cni512q_mbps: committed %v, fresh %v",
 			committed.LoadsweepTorusKneeMBps, fresh.LoadsweepTorusKneeMBps))
+	}
+	if fresh.TorusLoadsweepDeliveredMsgs != committed.TorusLoadsweepDeliveredMsgs {
+		drift = append(drift, fmt.Sprintf("torus_loadsweep_delivered_msgs: committed %d, fresh %d",
+			committed.TorusLoadsweepDeliveredMsgs, fresh.TorusLoadsweepDeliveredMsgs))
+	}
+	if committed.TorusLoadsweepEventsPerSec <= 0 {
+		drift = append(drift, "torus_loadsweep_events_per_sec: committed snapshot carries no throughput; regenerate with `cnisim benchjson`")
 	}
 	if fresh.LoadsweepTorusKneeMBps >= fresh.LoadsweepFlatKneeMBps {
 		drift = append(drift, fmt.Sprintf("loadsweep saturation inversion: torus knee %v MB/s must sit strictly below flat %v MB/s",

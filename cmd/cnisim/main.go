@@ -37,12 +37,28 @@ import (
 )
 
 func main() {
-	if len(os.Args) < 2 {
+	// Profile flags are shared by every subcommand and may sit before
+	// or after the command word; strip them before dispatch.
+	prof, args, err := parseProfileFlags(os.Args[1:])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cnisim:", err)
+		os.Exit(2)
+	}
+	if len(args) < 1 {
 		usage()
 		os.Exit(2)
 	}
-	cmd, args := os.Args[1], os.Args[2:]
-	if err := run(cmd, args); err != nil {
+	cmd, args := args[0], args[1:]
+	stopProf, err := prof.start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cnisim:", err)
+		os.Exit(1)
+	}
+	err = run(cmd, args)
+	if perr := stopProf(); err == nil {
+		err = perr
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "cnisim:", err)
 		os.Exit(1)
 	}
@@ -79,7 +95,9 @@ flags:
   --arrival=poisson|bursty|closed workload arrival process (loadsweep)
   --json=path  --csv=path         machine-readable export, uniform across every
                                   experiment command ("-" writes to stdout and
-                                  suppresses the human-readable table)`
+                                  suppresses the human-readable table)
+  --cpuprofile=path               write a pprof CPU profile of the run (any command)
+  --memprofile=path               write a pprof heap profile at exit (any command)`
 
 func usage() {
 	fmt.Fprintln(os.Stderr, usageText)

@@ -333,3 +333,50 @@ func TestListMatchesExperimentNames(t *testing.T) {
 		}
 	}
 }
+
+// TestProfileFlags pins the shared pprof flag handling: the flags are
+// extracted from any position in any spelling, a missing path is a
+// parse error (not a silent no-profile run), and a profiled run
+// actually writes both files.
+func TestProfileFlags(t *testing.T) {
+	pf, rest, err := parseProfileFlags([]string{
+		"--cpuprofile=cpu.out", "--json=-", "-memprofile", "mem.out", "--bus=io",
+	})
+	if err != nil {
+		t.Fatalf("parseProfileFlags: %v", err)
+	}
+	if pf.cpu != "cpu.out" || pf.mem != "mem.out" {
+		t.Fatalf("parsed %+v, want cpu.out/mem.out", pf)
+	}
+	if want := []string{"--json=-", "--bus=io"}; len(rest) != 2 || rest[0] != want[0] || rest[1] != want[1] {
+		t.Fatalf("rest = %v, want %v", rest, want)
+	}
+	if _, _, err := parseProfileFlags([]string{"--cpuprofile"}); err == nil {
+		t.Error("--cpuprofile without a path should error")
+	}
+	if _, _, err := parseProfileFlags([]string{"--memprofile"}); err == nil {
+		t.Error("--memprofile without a path should error")
+	}
+
+	dir := t.TempDir()
+	pf = profileFlags{cpu: filepath.Join(dir, "cpu.pprof"), mem: filepath.Join(dir, "mem.pprof")}
+	stop, err := pf.start()
+	if err != nil {
+		t.Fatalf("start profiles: %v", err)
+	}
+	if err := run("list", nil); err != nil {
+		t.Fatalf("profiled run: %v", err)
+	}
+	if err := stop(); err != nil {
+		t.Fatalf("stop profiles: %v", err)
+	}
+	for _, p := range []string{pf.cpu, pf.mem} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if fi.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"strings"
+)
+
+// profileFlags carries the pprof output paths shared by every
+// subcommand. The flags are extracted before subcommand dispatch (they
+// may appear anywhere on the command line) so each subcommand's own
+// FlagSet never sees them.
+type profileFlags struct {
+	cpu string
+	mem string
+}
+
+// parseProfileFlags strips --cpuprofile/--memprofile (either
+// --flag=value or --flag value, one or two dashes) from args and
+// returns the remaining arguments untouched, in order.
+func parseProfileFlags(args []string) (profileFlags, []string, error) {
+	var pf profileFlags
+	rest := make([]string, 0, len(args))
+	for i := 0; i < len(args); i++ {
+		a := args[i]
+		name := strings.TrimLeft(a, "-")
+		val := ""
+		if eq := strings.IndexByte(name, '='); eq >= 0 {
+			name, val = name[:eq], name[eq+1:]
+		}
+		if !strings.HasPrefix(a, "-") || (name != "cpuprofile" && name != "memprofile") {
+			rest = append(rest, a)
+			continue
+		}
+		if val == "" {
+			if i+1 >= len(args) {
+				return pf, nil, fmt.Errorf("--%s needs a file path", name)
+			}
+			i++
+			val = args[i]
+		}
+		if name == "cpuprofile" {
+			pf.cpu = val
+		} else {
+			pf.mem = val
+		}
+	}
+	return pf, rest, nil
+}
+
+// start begins CPU profiling if requested and returns a stop function
+// that finishes the CPU profile and writes the heap profile. The stop
+// function must run after the measured work, error or not.
+func (pf profileFlags) start() (stop func() error, err error) {
+	var cpuFile *os.File
+	if pf.cpu != "" {
+		cpuFile, err = os.Create(pf.cpu)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, err
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", pf.cpu)
+		}
+		if pf.mem != "" {
+			f, err := os.Create(pf.mem)
+			if err != nil {
+				return err
+			}
+			runtime.GC() // settle live heap before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", pf.mem)
+		}
+		return nil
+	}, nil
+}

@@ -179,6 +179,17 @@ type FaultPause = params.FaultPause
 // FaultCrash kills one node's NI at a simulated time.
 type FaultCrash = params.FaultCrash
 
+// LoadsweepBench* pin the "heaviest path" benchmark load point shared
+// by BenchmarkTorusLoadsweep and the benchjson
+// torus_loadsweep_events_per_sec canary: the default sweep's machine
+// at the CNI512Q torus saturation knee.
+const (
+	LoadsweepBenchNodes       = harness.LoadsweepBenchNodes
+	LoadsweepBenchWarm        = harness.LoadsweepBenchWarm
+	LoadsweepBenchMeasure     = harness.LoadsweepBenchMeasure
+	LoadsweepBenchPerNodeMBps = harness.LoadsweepBenchPerNodeMBps
+)
+
 // SweepOptions selects what LoadSweep sweeps.
 type SweepOptions = harness.SweepOptions
 

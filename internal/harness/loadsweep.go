@@ -32,6 +32,18 @@ const (
 	closedKneeGain = 1.05
 )
 
+// LoadsweepBench* pin the "heaviest path" benchmark load point that
+// BenchmarkTorusLoadsweep and the benchjson
+// torus_loadsweep_events_per_sec canary share: the default sweep's
+// machine at the CNI512Q torus saturation knee (the 7th ladder rung).
+const (
+	LoadsweepBenchNodes       = SweepNodes
+	LoadsweepBenchWarm        = SweepWarm
+	LoadsweepBenchMeasure     = SweepMeasure
+	LoadsweepBenchPerNodeMBps = sweepBaseMBps * sweepGrowth * sweepGrowth *
+		sweepGrowth * sweepGrowth * sweepGrowth * sweepGrowth
+)
+
 // sweepFracs are the fractions of the saturation offered load at
 // which tail latency is reported.
 var sweepFracs = [3]float64{0.3, 0.6, 0.9}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"testing"
 
+	"repro/internal/fault"
 	"repro/internal/params"
 	"repro/internal/sim"
 )
@@ -229,6 +230,55 @@ func TestInjectDeliverAckZeroAlloc(t *testing.T) {
 		}
 		e.Stop()
 	})
+}
+
+// TestTorusFaultPathZeroAlloc pins the fault-enabled torus hot path at
+// zero allocations per event, like the fault-free pin above: with an
+// injector attached (degrade window active so the per-message
+// occupancy/latency scaling actually runs), per-message arrivals ride
+// pending entries drained by pre-built per-link callbacks instead of
+// per-message closures.
+func TestTorusFaultPathZeroAlloc(t *testing.T) {
+	e := sim.NewEngine()
+	st := sim.NewStats(e)
+	tor := NewTorus(e, st, 4)
+	tor.AttachFaults(fault.New(e, st, 4, params.Faults{
+		Seed:              1,
+		DegradeUntil:      1 << 40, // degraded for the whole run
+		DegradeLatencyX:   2,
+		DegradeBandwidthX: 2,
+	}))
+	port := &countingPort{}
+	for i := 0; i < 4; i++ {
+		tor.Register(i, port)
+	}
+	m := &Msg{Src: 0, Dst: 3, Size: 64, Blocks: 2}
+	kick := sim.NewCond(e)
+	e.Spawn("src", func(p *sim.Process) {
+		for {
+			kick.Wait(p)
+			for i := 0; i < params.NetWindow; i++ {
+				tor.Inject(p, m)
+			}
+		}
+	})
+	e.RunAll()
+	// Warm the pending slices, queue backing arrays, and event heap.
+	for i := 0; i < 8; i++ {
+		kick.Signal()
+		e.RunAll()
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		kick.Signal()
+		e.RunAll()
+	})
+	if allocs != 0 {
+		t.Errorf("fault-enabled torus inject->deliver->ack allocates %.2f objects/op, want 0", allocs)
+	}
+	if port.n == 0 {
+		t.Fatal("no messages delivered")
+	}
+	e.Stop()
 }
 
 // TestFlatScheduleUnchanged pins the flat fabric's timing contract

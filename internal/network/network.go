@@ -144,10 +144,14 @@ type endpoints struct {
 	window int
 	n      int
 
+	// Per-(src,dst) window state is struct-of-arrays, indexed by
+	// slot = src*n+dst: flat parallel slices (counts in int32, conds
+	// packed by value) rather than n² little heap objects, so the
+	// admit/ack path walks two arrays.
 	ports    []Port
-	inFlight []int // inFlight[src*n+dst] counts unacked messages
-	// windowFree signals senders blocked on a full window.
-	windowFree []*sim.Cond
+	inFlight []int32 // inFlight[slot] counts unacked messages
+	// windowFree[slot] signals senders blocked on a full window.
+	windowFree []sim.Cond
 	// arrivals[dst] holds messages the port refused, FIFO.
 	arrivals []sim.FIFO[*Msg]
 
@@ -183,17 +187,17 @@ func (ep *endpoints) init(e *sim.Engine, st *sim.Stats, n int, ackLatency func(*
 	ep.window = params.NetWindow
 	ep.n = n
 	ep.ports = make([]Port, n)
-	ep.inFlight = make([]int, n*n)
+	ep.inFlight = make([]int32, n*n)
 	ep.arrivals = make([]sim.FIFO[*Msg], n)
 	ep.windowStalls = st.Counter("net.window.stall")
 	ep.msgs = st.Counter("net.msg")
 	ep.bytes = st.Counter("net.bytes")
 	ep.backpressure = st.Counter("net.backpressure")
 	ep.deliveryHist = st.Histogram("net.delivery")
-	ep.windowFree = make([]*sim.Cond, n*n)
+	ep.windowFree = make([]sim.Cond, n*n)
 	ep.ackFns = make([]func(), n*n)
 	for i := range ep.windowFree {
-		ep.windowFree[i] = sim.NewCond(e)
+		ep.windowFree[i].Init(e)
 		slot := i
 		ep.ackFns[i] = func() {
 			ep.inFlight[slot]--
@@ -211,7 +215,7 @@ func (ep *endpoints) Nodes() int { return ep.n }
 
 // CanInject reports whether src may inject to dst without blocking.
 func (ep *endpoints) CanInject(src, dst int) bool {
-	return ep.inFlight[src*ep.n+dst] < ep.window
+	return int(ep.inFlight[src*ep.n+dst]) < ep.window
 }
 
 // admit blocks p while the window to m.Dst is full, then charges the
@@ -221,7 +225,7 @@ func (ep *endpoints) admit(p *sim.Process, m *Msg) {
 		ep.admitFaults(p, m)
 	}
 	slot := m.Src*ep.n + m.Dst
-	for ep.inFlight[slot] >= ep.window {
+	for int(ep.inFlight[slot]) >= ep.window {
 		ep.windowStalls.Inc()
 		ep.windowFree[slot].Wait(p)
 	}
@@ -272,7 +276,7 @@ func (ep *endpoints) Unblock(dst int) { ep.drain(dst) }
 func (ep *endpoints) Pending(dst int) int { return ep.arrivals[dst].Len() }
 
 // InFlight reports unacked messages from src to dst (diagnostics).
-func (ep *endpoints) InFlight(src, dst int) int { return ep.inFlight[src*ep.n+dst] }
+func (ep *endpoints) InFlight(src, dst int) int { return int(ep.inFlight[src*ep.n+dst]) }
 
 // DeliveryLatency exposes the fabric's delivery-latency histogram
 // (also reachable as the "net.delivery" histogram in Stats).

@@ -1,6 +1,7 @@
 package network
 
 import (
+	"repro/internal/fault"
 	"repro/internal/params"
 	"repro/internal/sim"
 )
@@ -14,16 +15,16 @@ const (
 	numDirs
 )
 
-// torusLink is one unidirectional router-to-router channel. A link
-// carries one message at a time (occupancy = serialisation of the
-// 256-byte message); contenders queue in FIFO order. Messages that
-// have finished serialising remain "on the wire" for the hop latency,
-// tracked in flight — transmissions are pipelined, so flight can hold
-// more than one message, but they always arrive in transmit order.
-type torusLink struct {
-	busy   bool
-	queue  sim.FIFO[*Msg] // waiting for the link, FIFO arbitration
-	flight sim.FIFO[*Msg] // serialised, in hop-latency flight
+// pendTx is one fault-mode transmission in flight on a link: the
+// degrade window makes per-message latency time-varying, so arrivals
+// can complete out of FIFO order and each entry carries its own
+// arrival time. Entries are kept in transmit order; the drain fn
+// selects min-(at, transmit order), which is exactly the order the
+// per-message events fire in.
+type pendTx struct {
+	m    *Msg
+	next int
+	at   sim.Time
 }
 
 // Torus is a W×H 2D torus with dimension-order (x then y) routing and
@@ -33,16 +34,54 @@ type torusLink struct {
 // control is the same sliding window as the flat network; window
 // credits return on a contention-free path in hop-count time (acks
 // are a few bytes and are not modelled as consuming link bandwidth).
+//
+// Hot state is struct-of-arrays: every per-link quantity lives in a
+// parallel index-addressed slice (li = node*numDirs+dir) instead of a
+// per-link struct full of queue headers — a busy bitset, waiting-queue
+// heads, flight rings — and routing reads precomputed tables rather
+// than redoing coordinate arithmetic per hop.
+//
+// The event cadence (a release and an arrival per hop, both created
+// at transmit time) is deliberately unchanged. Batched variants that
+// collapse the pair into one self-draining event per link (sim.Chain)
+// were built and measured: simulated timestamps stay exact, but the
+// collapsed event necessarily allocates its sequence number at a
+// different instant than the release it replaces, which flips
+// (time, seq) tie order between same-cycle arrivals at contended
+// links and drifts the pinned goldens (probe RTT moved ~5% under a
+// saturating all-to-all background). Byte-identical goldens pin the
+// cadence; the struct-of-arrays layout is where the fabric's cycles
+// go instead.
 type Torus struct {
 	endpoints
 	w, h      int
 	hopLat    sim.Time
 	occupancy sim.Time
-	links     []torusLink // links[node*numDirs+dir]
 
-	// Pre-built per-link event callbacks (no per-message closures).
+	// Per-link SoA hot state, shared by both modes: busy bitset,
+	// FIFO waiting queues, and pre-built release callbacks.
+	busyBits   []uint64
+	queues     []sim.FIFO[*Msg]
 	releaseFns []func()
-	arriveFns  []func()
+	// flight[li] holds serialised messages in hop-latency flight;
+	// constant per-link delay means arrivals fire in transmit order,
+	// landed by the pre-built arriveFns (fault-free path only).
+	flight    []sim.Ring[*Msg]
+	arriveFns []func()
+	// downstream[li] is the node on the far end of link li, and
+	// routeDir[cur*n+dst] the dimension-order output direction
+	// (-1 at the destination) — both precomputed so the per-hop path
+	// does no coordinate arithmetic.
+	downstream []int32
+	routeDir   []int8
+
+	// Fault-mode state, allocated by AttachFaults only. The degrade
+	// window scales occupancy and latency per message, so arrivals can
+	// complete out of FIFO order; they are carried in pending entries
+	// drained by the pre-built faultArriveFns (no per-message
+	// closures).
+	pending        [][]pendTx
+	faultArriveFns []func()
 
 	hops      *sim.Counter
 	linkWaits *sim.Counter
@@ -53,23 +92,33 @@ type Torus struct {
 func NewTorus(e *sim.Engine, st *sim.Stats, n int) *Torus {
 	w, h := params.TorusDims(n)
 	t := &Torus{
-		w:         w,
-		h:         h,
-		hopLat:    params.TorusHopLatency,
-		occupancy: params.TorusLinkOccupancy,
-		links:     make([]torusLink, n*numDirs),
+		w:          w,
+		h:          h,
+		hopLat:     params.TorusHopLatency,
+		occupancy:  params.TorusLinkOccupancy,
+		busyBits:   make([]uint64, (n*numDirs+63)/64),
+		flight:     make([]sim.Ring[*Msg], n*numDirs),
+		queues:     make([]sim.FIFO[*Msg], n*numDirs),
+		releaseFns: make([]func(), n*numDirs),
+		arriveFns:  make([]func(), n*numDirs),
 	}
 	t.init(e, st, n, func(m *Msg) sim.Time {
 		return sim.Time(t.HopCount(m.Src, m.Dst)) * t.hopLat
 	})
 	t.hops = st.Counter("net.torus.hop")
 	t.linkWaits = st.Counter("net.torus.link.wait")
-	t.releaseFns = make([]func(), n*numDirs)
-	t.arriveFns = make([]func(), n*numDirs)
-	for i := range t.links {
-		li := i
-		t.releaseFns[i] = func() { t.release(li) }
-		t.arriveFns[i] = func() { t.linkArrive(li) }
+	t.downstream = make([]int32, n*numDirs)
+	for li := range t.downstream {
+		t.downstream[li] = int32(t.neighbor(li/numDirs, li%numDirs))
+		li := li
+		t.releaseFns[li] = func() { t.release(li) }
+		t.arriveFns[li] = func() { t.linkArrive(li) }
+	}
+	t.routeDir = make([]int8, n*n)
+	for cur := 0; cur < n; cur++ {
+		for dst := 0; dst < n; dst++ {
+			t.routeDir[cur*n+dst] = int8(t.nextDir(cur, dst))
+		}
 	}
 	return t
 }
@@ -98,7 +147,8 @@ func (t *Torus) HopCount(src, dst int) int {
 
 // nextDir returns the dimension-order output direction at node cur
 // for a message to dst, or -1 when cur == dst. Ties between the two
-// wrap directions go to the positive link.
+// wrap directions go to the positive link. (Used to build routeDir;
+// the per-hop path reads the table.)
 func (t *Torus) nextDir(cur, dst int) int {
 	cx, cy := t.coords(cur)
 	dx, dy := t.coords(dst)
@@ -135,6 +185,19 @@ func (t *Torus) neighbor(node, dir int) int {
 	return y*t.w + x
 }
 
+// AttachFaults hooks the injector in and switches the links to
+// per-message arrival bookkeeping (see the fault-mode fields).
+func (t *Torus) AttachFaults(in *fault.Injector) {
+	t.endpoints.AttachFaults(in)
+	n := t.n
+	t.pending = make([][]pendTx, n*numDirs)
+	t.faultArriveFns = make([]func(), n*numDirs)
+	for li := 0; li < n*numDirs; li++ {
+		li := li
+		t.faultArriveFns[li] = func() { t.faultArrive(li) }
+	}
+}
+
 // Inject sends m, blocking the calling (device) process while the
 // sliding window to m.Dst is full, then starts the hop-by-hop
 // traversal at the source router.
@@ -147,15 +210,15 @@ func (t *Torus) Inject(p *sim.Process, m *Msg) {
 // destination, otherwise claim (or queue on) the dimension-order
 // output link.
 func (t *Torus) forward(m *Msg, node int) {
-	dir := t.nextDir(node, m.Dst)
+	dir := t.routeDir[node*t.n+m.Dst]
 	if dir < 0 {
 		t.arrive(m)
 		return
 	}
-	li := node*numDirs + dir
-	if t.links[li].busy {
+	li := node*numDirs + int(dir)
+	if t.busy(li) {
 		t.linkWaits.Inc()
-		t.links[li].queue.Push(m)
+		t.queues[li].Push(m)
 		return
 	}
 	t.transmit(li, m)
@@ -163,23 +226,16 @@ func (t *Torus) forward(m *Msg, node int) {
 
 // transmit serialises m onto link li: the link is held for the
 // occupancy, and m reaches the next router occupancy+hopLat later.
+// Both events are created here, at transmit time, in release-then-
+// arrive order — the cadence the goldens pin (see the type comment).
 func (t *Torus) transmit(li int, m *Msg) {
-	lk := &t.links[li]
-	lk.busy = true
+	t.setBusy(li)
 	t.hops.Inc()
 	if t.inj != nil {
-		// Fault mode: the degrade window scales occupancy and hop
-		// latency over time, so the per-link flight FIFO (which relies
-		// on arrivals firing in transmit order) cannot be used. The
-		// release path is safe — the busy flag serialises it — but the
-		// arrival needs a per-message closure.
-		occ := t.inj.Occupancy(t.occupancy)
-		next := t.neighbor(li/numDirs, li%numDirs)
-		t.eng.Schedule(occ, t.releaseFns[li])
-		t.eng.Schedule(occ+t.inj.Latency(t.hopLat), func() { t.forward(m, next) })
+		t.faultTransmit(li, m)
 		return
 	}
-	lk.flight.Push(m)
+	t.flight[li].Push(m)
 	t.eng.Schedule(t.occupancy, t.releaseFns[li])
 	t.eng.Schedule(t.occupancy+t.hopLat, t.arriveFns[li])
 }
@@ -187,16 +243,51 @@ func (t *Torus) transmit(li int, m *Msg) {
 // release frees link li after a serialisation completes and starts
 // the next queued message, if any.
 func (t *Torus) release(li int) {
-	lk := &t.links[li]
-	lk.busy = false
-	if lk.queue.Len() > 0 {
-		t.transmit(li, lk.queue.Pop())
+	t.clearBusy(li)
+	if t.queues[li].Len() > 0 {
+		t.transmit(li, t.queues[li].Pop())
 	}
 }
 
 // linkArrive lands the oldest in-flight message on link li at the
 // downstream router and routes it onward.
 func (t *Torus) linkArrive(li int) {
-	m := t.links[li].flight.Pop()
-	t.forward(m, t.neighbor(li/numDirs, li%numDirs))
+	t.forward(t.flight[li].Pop(), int(t.downstream[li]))
+}
+
+// busy reports / sets / clears link li's bit in the busy bitset.
+func (t *Torus) busy(li int) bool { return t.busyBits[li>>6]&(1<<(li&63)) != 0 }
+func (t *Torus) setBusy(li int)   { t.busyBits[li>>6] |= 1 << (li & 63) }
+func (t *Torus) clearBusy(li int) { t.busyBits[li>>6] &^= 1 << (li & 63) }
+
+// faultTransmit is transmit's fault-mode tail: the degrade window
+// scales occupancy and hop latency per message, so the flight ring
+// (which relies on arrivals firing in transmit order) cannot be used;
+// the arrival is carried in a pending entry drained by the pre-built
+// per-link fn — no per-message closure.
+func (t *Torus) faultTransmit(li int, m *Msg) {
+	occ := t.inj.Occupancy(t.occupancy)
+	next := int(t.downstream[li])
+	t.eng.Schedule(occ, t.releaseFns[li])
+	at := t.eng.Now() + occ + t.inj.Latency(t.hopLat)
+	t.pending[li] = append(t.pending[li], pendTx{m, next, at})
+	t.eng.ScheduleAt(at, t.faultArriveFns[li])
+}
+
+// faultArrive lands the pending transmission whose arrival event is
+// firing now: the one with the minimum arrival time, oldest first on
+// ties — the (time, seq) order its per-message events fire in.
+func (t *Torus) faultArrive(li int) {
+	pend := t.pending[li]
+	best := 0
+	for i := 1; i < len(pend); i++ {
+		if pend[i].at < pend[best].at {
+			best = i
+		}
+	}
+	e := pend[best]
+	copy(pend[best:], pend[best+1:])
+	pend[len(pend)-1] = pendTx{}
+	t.pending[li] = pend[:len(pend)-1]
+	t.forward(e.m, e.next)
 }

@@ -1,0 +1,62 @@
+package sim
+
+import "fmt"
+
+// Chain is a batch-schedule helper: a self-draining event that keeps
+// at most one entry in the heap no matter how much work is pending
+// behind it. Arm schedules the chain's fn at an absolute time; while
+// an arming is outstanding further Arms are no-ops, and the fn re-arms
+// for whatever work remains. A producer feeding a FIFO of timed work
+// therefore costs one heap event per batch instead of one per item.
+//
+// Arm times must be non-decreasing while the chain is armed (the heap
+// entry cannot be moved earlier), which holds for any per-chain FIFO
+// work stream. Caveat for golden-pinned simulations: a chain's firing
+// acquires its (time, seq) position when Arm happens to schedule it,
+// not when each unit of work was produced, so collapsing existing
+// per-item events into a Chain can flip same-instant tie order against
+// unrelated events (this is why the torus links do not use it — see
+// the Torus type comment).
+type Chain struct {
+	eng   *Engine
+	fire  func() // pre-built: clears armed, then runs the payload fn
+	at    Time   // outstanding firing time, valid while armed
+	armed bool
+}
+
+// NewChain returns a chain that runs fn each time an arming fires.
+func NewChain(e *Engine, fn func()) *Chain {
+	c := &Chain{eng: e}
+	c.fire = func() {
+		c.armed = false
+		fn()
+	}
+	return c
+}
+
+// Init makes a zero-value chain usable in place (for chains packed
+// into a slice, avoiding one heap object per chain).
+func (c *Chain) Init(e *Engine, fn func()) {
+	c.eng = e
+	c.fire = func() {
+		c.armed = false
+		fn()
+	}
+}
+
+// Arm schedules the chain's fn at absolute time at. While armed it is
+// a no-op; arming earlier than the outstanding firing is a bug.
+func (c *Chain) Arm(at Time) {
+	if c.armed {
+		if at < c.at {
+			panic(fmt.Sprintf("sim: chain re-armed at %d before outstanding firing %d", at, c.at))
+		}
+		return
+	}
+	c.armed = true
+	c.at = at
+	c.eng.ScheduleAt(at, c.fire)
+}
+
+// Armed reports whether a firing is outstanding.
+func (c *Chain) Armed() bool { return c.armed }

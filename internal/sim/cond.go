@@ -13,6 +13,11 @@ type Cond struct {
 // NewCond returns a condition variable bound to the engine.
 func NewCond(e *Engine) *Cond { return &Cond{eng: e} }
 
+// Init binds a zero-value condition variable in place, for conds
+// packed into a slice (one backing array instead of a heap object per
+// cond). The slice must not be reallocated while waiters are queued.
+func (c *Cond) Init(e *Engine) { c.eng = e }
+
 // Wait parks the calling process until Signal or Broadcast wakes it.
 func (c *Cond) Wait(p *Process) {
 	c.waiters.Push(p)

@@ -115,19 +115,16 @@ func (h *eventHeap) siftDown() {
 type Engine struct {
 	now     Time
 	seq     uint64
+	horizon Time // active Run's bound; valid while events dispatch
 	events  eventHeap
-	yield   chan struct{} // the running process signals here when it parks or ends
-	abort   chan struct{} // closed by Stop to unwind parked processes
+	yield   chan struct{} // the token returns here when no event is dispatchable
 	stopped bool
-	nprocs  int // live process goroutines
+	procs   []*Process // every spawned process, for Stop to unwind
 }
 
 // NewEngine returns an engine with the clock at zero.
 func NewEngine() *Engine {
-	return &Engine{
-		yield: make(chan struct{}),
-		abort: make(chan struct{}),
-	}
+	return &Engine{yield: make(chan struct{})}
 }
 
 // Now returns the current simulation time.
@@ -162,10 +159,18 @@ func (e *Engine) scheduleProc(delay Time, p *Process) {
 // pass horizon. It returns the time of the last executed event.
 // Processes blocked on conditions when the heap drains remain parked;
 // call Stop to unwind them.
+//
+// Scheduling uses direct handoff: resuming a process lends it the
+// event-loop token, and the process keeps dispatching events itself
+// when it next parks (Engine.next), handing the token straight to the
+// next runnable process. Control returns here only when no event is
+// dispatchable, so a chain of process wakes costs one goroutine switch
+// per wake instead of a park/resume round trip through this loop.
 func (e *Engine) Run(horizon Time) Time {
 	if e.stopped {
 		panic("sim: Run after Stop")
 	}
+	e.horizon = horizon
 	for e.events.len() > 0 {
 		if e.events.a[0].at > horizon {
 			break
@@ -174,7 +179,11 @@ func (e *Engine) Run(horizon Time) Time {
 		e.now = ev.at
 		if ev.p != nil {
 			ev.p.waking = false
-			e.runProcess(ev.p)
+			if ev.p.done {
+				continue
+			}
+			ev.p.resume <- struct{}{} // lend the token to the process
+			<-e.yield                 // token returned: nothing dispatchable
 		} else {
 			ev.fn()
 		}
@@ -193,13 +202,16 @@ func (e *Engine) Stop() {
 		return
 	}
 	e.stopped = true
-	close(e.abort)
-	// Parked processes panic with errAborted when they observe the
-	// closed abort channel; their wrappers decrement nprocs and signal
-	// procExit, but since no event loop is running we simply wait for
-	// each goroutine to acknowledge via the yield channel.
-	for e.nprocs > 0 {
+	// After Run returns every live process is blocked in block()
+	// waiting on its resume channel. Resuming with stopped set is the
+	// poisoned handoff: block panics errAborted, and the goroutine's
+	// recover acknowledges on the yield channel before exiting.
+	for _, p := range e.procs {
+		if p.done {
+			continue
+		}
+		p.resume <- struct{}{}
 		<-e.yield
-		e.nprocs--
 	}
+	e.procs = nil
 }

@@ -24,7 +24,7 @@ type Process struct {
 // but never concurrently with the engine or another process.
 func (e *Engine) Spawn(name string, body func(p *Process)) *Process {
 	p := &Process{eng: e, name: name, resume: make(chan struct{})}
-	e.nprocs++
+	e.procs = append(e.procs, p)
 	go func() {
 		defer func() {
 			if r := recover(); r != nil {
@@ -38,7 +38,7 @@ func (e *Engine) Spawn(name string, body func(p *Process)) *Process {
 		p.block() // wait for first activation
 		body(p)
 		p.done = true
-		e.yield <- struct{}{}
+		e.next(nil) // pass the event-loop token onward
 	}()
 	p.parked = true
 	p.scheduleWake(0)
@@ -54,21 +54,29 @@ func (p *Process) Engine() *Engine { return p.eng }
 // Now returns the current simulation time.
 func (p *Process) Now() Time { return p.eng.now }
 
-// block suspends the goroutine until resumed or the engine aborts.
+// block suspends the goroutine until resumed. A plain channel receive
+// (not a select over an abort channel) keeps the park/resume handoff
+// on the runtime's direct-send fast path; Stop unwinds blocked
+// processes by resuming them with the stopped flag set — a poisoned
+// resume — which block converts into the unwind panic.
 func (p *Process) block() {
-	select {
-	case <-p.resume:
-	case <-p.eng.abort:
+	<-p.resume
+	if p.eng.stopped {
 		panic(errAborted{})
 	}
 }
 
-// park yields control to the engine and suspends until woken.
+// park gives up the event-loop token and suspends until woken.
 // The caller must have arranged a wake (scheduleWake or a Cond).
+// Rather than bouncing through the engine goroutine, park dispatches
+// the next events itself (Engine.next): when the first dispatchable
+// process wake is this process's own — the common case for short
+// sleeps — park returns without any goroutine switch at all.
 func (p *Process) park() {
 	p.parked = true
-	p.eng.yield <- struct{}{}
-	p.block()
+	if !p.eng.next(p) {
+		p.block()
+	}
 	p.parked = false
 }
 
@@ -84,16 +92,40 @@ func (p *Process) scheduleWake(delay Time) {
 	p.eng.scheduleProc(delay, p)
 }
 
-// runProcess transfers control to p until it parks or terminates.
-func (e *Engine) runProcess(p *Process) {
-	if p.done {
-		return
+// next passes the event-loop token onward after the calling process
+// parks or terminates. It executes fn-events inline on the calling
+// goroutine and hands the token to the first runnable process it pops;
+// when the heap drains or the next event lies past the horizon the
+// token returns to Run. Events still fire in exact (time, seq) order —
+// only the goroutine executing the loop changes — so schedules are
+// bit-identical to the central-loop formulation.
+//
+// When the first dispatchable process wake is self's own, next keeps
+// the token and returns true: the caller continues immediately with
+// zero goroutine switches. self is nil for a terminating process.
+func (e *Engine) next(self *Process) bool {
+	for e.events.len() > 0 {
+		if e.events.a[0].at > e.horizon {
+			break
+		}
+		ev := e.events.pop()
+		e.now = ev.at
+		if ev.p == nil {
+			ev.fn()
+			continue
+		}
+		ev.p.waking = false
+		if ev.p.done {
+			continue
+		}
+		if ev.p == self {
+			return true
+		}
+		ev.p.resume <- struct{}{} // hand the token to the next process
+		return false
 	}
-	p.resume <- struct{}{}
-	<-e.yield
-	if p.done {
-		e.nprocs--
-	}
+	e.yield <- struct{}{} // nothing dispatchable: token back to Run
+	return false
 }
 
 // Sleep suspends the process for d cycles. Sleep(0) yields to events

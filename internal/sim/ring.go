@@ -1,0 +1,54 @@
+package sim
+
+// Ring is a power-of-two circular queue. Unlike FIFO it never copies
+// live elements to reclaim space — head and tail chase each other
+// around the backing array — so sustained push/pop traffic (the torus
+// flight rings push and pop on every hop) touches exactly one slot per
+// operation. Push is amortised zero-alloc once the ring has reached
+// its steady-state depth. The zero value is ready to use.
+type Ring[T any] struct {
+	buf        []T // len(buf) is zero or a power of two
+	head, tail uint64
+}
+
+// Push appends v to the tail, doubling the backing array when full.
+func (r *Ring[T]) Push(v T) {
+	if int(r.tail-r.head) == len(r.buf) {
+		r.grow()
+	}
+	r.buf[r.tail&uint64(len(r.buf)-1)] = v
+	r.tail++
+}
+
+// grow doubles the backing array, unwrapping the live elements into
+// the front of the new one.
+func (r *Ring[T]) grow() {
+	size := len(r.buf) * 2
+	if size == 0 {
+		size = 8
+	}
+	next := make([]T, size)
+	mask := uint64(len(r.buf) - 1)
+	for i, j := r.head, 0; i != r.tail; i, j = i+1, j+1 {
+		next[j] = r.buf[i&mask]
+	}
+	r.buf = next
+	r.tail -= r.head
+	r.head = 0
+}
+
+// Pop removes and returns the head. The caller must check Len first.
+func (r *Ring[T]) Pop() T {
+	var zero T
+	i := r.head & uint64(len(r.buf)-1)
+	v := r.buf[i]
+	r.buf[i] = zero // release references for the collector
+	r.head++
+	return v
+}
+
+// Peek returns the head without removing it.
+func (r *Ring[T]) Peek() T { return r.buf[r.head&uint64(len(r.buf)-1)] }
+
+// Len reports the number of queued elements.
+func (r *Ring[T]) Len() int { return int(r.tail - r.head) }

@@ -1,0 +1,105 @@
+package sim
+
+import "testing"
+
+// TestRingFIFO: order is preserved through growth and wrap-around.
+func TestRingFIFO(t *testing.T) {
+	var r Ring[int]
+	next, want := 0, 0
+	// Interleave pushes and pops so head/tail wrap the backing array
+	// repeatedly while the depth forces several growths.
+	for round := 0; round < 50; round++ {
+		for i := 0; i < round%17+1; i++ {
+			r.Push(next)
+			next++
+		}
+		for r.Len() > round%5 {
+			if got := r.Peek(); got != want {
+				t.Fatalf("Peek = %d, want %d", got, want)
+			}
+			if got := r.Pop(); got != want {
+				t.Fatalf("Pop = %d, want %d", got, want)
+			}
+			want++
+		}
+	}
+	for r.Len() > 0 {
+		if got := r.Pop(); got != want {
+			t.Fatalf("drain Pop = %d, want %d", got, want)
+		}
+		want++
+	}
+	if want != next {
+		t.Fatalf("popped %d values, pushed %d", want, next)
+	}
+}
+
+// TestRingSteadyStateAllocs: push/pop at steady depth allocates
+// nothing once the ring has grown to capacity.
+func TestRingSteadyStateAllocs(t *testing.T) {
+	var r Ring[int]
+	for i := 0; i < 16; i++ {
+		r.Push(i)
+	}
+	for r.Len() > 0 {
+		r.Pop()
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		for i := 0; i < 8; i++ {
+			r.Push(i)
+		}
+		for i := 0; i < 8; i++ {
+			r.Pop()
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("ring steady state allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestChainBatchesArmings: while an arming is outstanding further Arms
+// are no-ops, the fn fires at the armed time, and the fn can re-arm.
+func TestChainBatchesArmings(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	var c *Chain
+	pendingWork := 3
+	c = NewChain(e, func() {
+		fired = append(fired, e.Now())
+		pendingWork--
+		if pendingWork > 0 {
+			c.Arm(e.Now() + 10)
+		}
+	})
+	c.Arm(5)
+	if !c.Armed() {
+		t.Fatal("chain not armed after Arm")
+	}
+	// Redundant arms while outstanding must not add heap events.
+	c.Arm(5)
+	c.Arm(7)
+	if got := e.Pending(); got != 1 {
+		t.Fatalf("pending events = %d, want 1 (batched)", got)
+	}
+	e.RunAll()
+	if len(fired) != 3 || fired[0] != 5 || fired[1] != 15 || fired[2] != 25 {
+		t.Fatalf("fired at %v, want [5 15 25]", fired)
+	}
+	if c.Armed() {
+		t.Error("chain still armed after draining")
+	}
+}
+
+// TestChainRearmEarlierPanics: moving an outstanding firing earlier is
+// a bug the chain reports loudly.
+func TestChainRearmEarlierPanics(t *testing.T) {
+	e := NewEngine()
+	c := NewChain(e, func() {})
+	c.Arm(10)
+	defer func() {
+		if recover() == nil {
+			t.Error("re-arming earlier than the outstanding firing did not panic")
+		}
+	}()
+	c.Arm(3)
+}

@@ -1,0 +1,57 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestStampArenaFIFO: the arena preserves per-slot FIFO order through
+// the ring→spill overflow boundary and back, and slots are independent.
+func TestStampArenaFIFO(t *testing.T) {
+	a := newStampArena(4)
+	// Drive slot 1 well past the ring capacity while interleaving
+	// pushes on slot 2, popping in waves to cross the refill path.
+	next := sim.Time(100)
+	want := []sim.Time{}
+	for i := 0; i < 3*stampCap; i++ {
+		a.Push(1, next)
+		a.Push(2, next*10)
+		want = append(want, next)
+		next++
+	}
+	if got := a.Len(1); got != 3*stampCap {
+		t.Fatalf("Len(1) = %d, want %d", got, 3*stampCap)
+	}
+	for i, w := range want {
+		if got := a.Pop(1); got != w {
+			t.Fatalf("Pop(1) #%d = %d, want %d", i, got, w)
+		}
+	}
+	if got := a.Len(1); got != 0 {
+		t.Fatalf("Len(1) after drain = %d, want 0", got)
+	}
+	// Slot 2 was untouched by slot 1's traffic.
+	if got := a.Pop(2); got != 1000 {
+		t.Fatalf("Pop(2) = %d, want 1000", got)
+	}
+}
+
+// TestStampArenaSteadyStateAllocs: window-depth push/pop traffic — the
+// workload hot path — allocates nothing.
+func TestStampArenaSteadyStateAllocs(t *testing.T) {
+	a := newStampArena(16)
+	var next sim.Time
+	allocs := testing.AllocsPerRun(1000, func() {
+		for i := 0; i < stampCap/2; i++ {
+			a.Push(5, next)
+			next++
+		}
+		for i := 0; i < stampCap/2; i++ {
+			a.Pop(5)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("stamp arena steady state allocates %.1f objects/op, want 0", allocs)
+	}
+}

@@ -180,11 +180,12 @@ type run struct {
 	warmEnd sim.Time
 	endAt   sim.Time
 
-	// stamps[src*n+dst] carries intended-arrival timestamps from the
-	// open-loop sender to the destination's handler. Per-(src,dst)
+	// stamps carries intended-arrival timestamps from the open-loop
+	// sender to the destination's handler, slot src*n+dst. Per-(src,dst)
 	// delivery is FIFO end to end (FIFO fabrics, in-order reassembly),
-	// so a queue is enough — and it allocates nothing in steady state.
-	stamps []sim.FIFO[sim.Time]
+	// so a queue per slot is enough; the arena packs all n² of them
+	// into one slab (see stampArena).
+	stamps *stampArena
 	hists  []sim.Histogram
 
 	sent      uint64
@@ -233,7 +234,7 @@ func newRun(cfg params.Config, warm, measure sim.Time) *run {
 		warmEnd: warm,
 		endAt:   warm + measure,
 	}
-	r.stamps = make([]sim.FIFO[sim.Time], r.n*r.n)
+	r.stamps = newStampArena(r.n * r.n)
 	r.hists = make([]sim.Histogram, r.n)
 	cdf := zipfCDF(r.n, wl.ZipfS)
 	sizeSum := 0
@@ -312,7 +313,7 @@ func (r *run) addOpen(sc *scenario.Scenario) {
 			// receiver's cache, as in the bandwidth microbenchmark).
 			d.EP.Load(0x4000, d.Size)
 			d.EP.Compute(serviceCycles)
-			intended := r.stamps[d.Src*r.n+at].Pop()
+			intended := r.stamps.Pop(d.Src*r.n + at)
 			r.delivered++
 			now := d.EP.Clock()
 			if now > r.warmEnd {
@@ -330,7 +331,7 @@ func (r *run) addOpen(sc *scenario.Scenario) {
 				if ep.Clock() >= next {
 					dst := g.pickDst(self)
 					size := g.pickSize()
-					r.stamps[self*r.n+dst].Push(next)
+					r.stamps.Push(self*r.n+dst, next)
 					r.sent++
 					ep.SendTo(dst, hOpen, size, nil)
 					next += g.nextGap()
