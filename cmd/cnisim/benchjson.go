@@ -55,6 +55,13 @@ type benchReport struct {
 	LoadsweepFlatKneeMBps  float64 `json:"loadsweep_flat_knee_cni512q_mbps"`
 	LoadsweepTorusKneeMBps float64 `json:"loadsweep_torus_knee_cni512q_mbps"`
 
+	// TraceOverheadPct is the wall-clock cost of full telemetry
+	// (lifecycle recorder + sampler at the default period) on the same
+	// torus loadsweep point, in percent over the untraced run. The
+	// traced run's delivered count must equal the untraced canary —
+	// tracing is inert — and --check gates the overhead under 15%.
+	TraceOverheadPct float64 `json:"trace_overhead_pct"`
+
 	// Experiment-harness wall clock (host).
 	Fig6MemoryWallMs float64 `json:"fig6_memory_wall_ms"`
 	Fig7MemoryWallMs float64 `json:"fig7_memory_wall_ms"`
@@ -95,17 +102,40 @@ func engineThroughput() (eps, allocsPerEvent float64) {
 // on the reference host that produced the committed BENCH_sim.json.
 const preSoAEventsPerSec = 7128.0
 
-// torusLoadsweepThroughput runs the heaviest-path load point once and
-// returns host throughput plus the (deterministic) delivered count.
-func torusLoadsweepThroughput() (eps float64, delivered uint64) {
+// torusLoadsweepThroughput runs the heaviest-path load point once
+// under the given trace spec and returns host throughput plus the
+// (deterministic) delivered count.
+func torusLoadsweepThroughput(spec cni.TraceSpec) (eps float64, delivered uint64) {
 	wl := cni.DefaultWorkload()
 	wl.OfferedMBps = cni.LoadsweepBenchPerNodeMBps
 	cfg := cni.Config{Nodes: cni.LoadsweepBenchNodes, NI: cni.CNI512Q,
-		Bus: cni.MemoryBus, Topology: cni.TopoTorus, Workload: &wl}
+		Bus: cni.MemoryBus, Topology: cni.TopoTorus, Workload: &wl, Trace: spec}
 	start := time.Now()
 	rep := cni.MeasureLoad(cfg, cni.LoadsweepBenchWarm, cni.LoadsweepBenchMeasure)
 	wall := time.Since(start).Seconds()
 	return float64(rep.Delivered) / wall, rep.Delivered
+}
+
+// traceOverhead measures the telemetry tax: the torus loadsweep point
+// with and without the full trace spec (recorder + default-period
+// sampler), best of three each to damp host scheduling noise. It also
+// returns the traced run's delivered count so --check can pin trace
+// inertness on the heaviest path.
+func traceOverhead() (pct float64, tracedDelivered uint64) {
+	spec := cni.TraceSpec{Enabled: true, SampleEvery: cni.TraceSampleDefault}
+	best := func(s cni.TraceSpec) (eps float64, delivered uint64) {
+		for i := 0; i < 3; i++ {
+			e, d := torusLoadsweepThroughput(s)
+			if e > eps {
+				eps = e
+			}
+			delivered = d
+		}
+		return eps, delivered
+	}
+	off, _ := best(cni.TraceSpec{})
+	on, tracedDelivered := best(spec)
+	return (off/on - 1) * 100, tracedDelivered
 }
 
 func timeTable(f func() *harness.Table) float64 {
@@ -125,7 +155,7 @@ func canaries(r *benchReport) {
 	_, rows := cni.LoadSweep(cni.SweepOptions{NIs: []cni.NIKind{cni.CNI512Q}})
 	r.LoadsweepFlatKneeMBps = rows[0].KneeOfferedMBps
 	r.LoadsweepTorusKneeMBps = rows[1].KneeOfferedMBps
-	r.TorusLoadsweepEventsPerSec, r.TorusLoadsweepDeliveredMsgs = torusLoadsweepThroughput()
+	r.TorusLoadsweepEventsPerSec, r.TorusLoadsweepDeliveredMsgs = torusLoadsweepThroughput(cni.TraceSpec{})
 	r.TorusLoadsweepPreSoAPerSec = preSoAEventsPerSec
 }
 
@@ -171,6 +201,19 @@ func checkCanaries(path string) error {
 	if committed.TorusLoadsweepEventsPerSec <= 0 {
 		drift = append(drift, "torus_loadsweep_events_per_sec: committed snapshot carries no throughput; regenerate with `cnisim benchjson`")
 	}
+	if committed.TraceOverheadPct == 0 {
+		drift = append(drift, "trace_overhead_pct: committed snapshot carries no trace-overhead measurement; regenerate with `cnisim benchjson`")
+	}
+	// The telemetry canary: tracing the heaviest path must not change
+	// what the simulation computes and must stay cheap on the host.
+	overheadPct, tracedDelivered := traceOverhead()
+	if tracedDelivered != committed.TorusLoadsweepDeliveredMsgs {
+		drift = append(drift, fmt.Sprintf("traced torus loadsweep delivered %d messages, untraced canary is %d: tracing perturbed the simulation",
+			tracedDelivered, committed.TorusLoadsweepDeliveredMsgs))
+	}
+	if overheadPct >= 15 {
+		drift = append(drift, fmt.Sprintf("trace_overhead_pct: fresh measurement %.1f%% breaches the 15%% budget", overheadPct))
+	}
 	if fresh.LoadsweepTorusKneeMBps >= fresh.LoadsweepFlatKneeMBps {
 		drift = append(drift, fmt.Sprintf("loadsweep saturation inversion: torus knee %v MB/s must sit strictly below flat %v MB/s",
 			fresh.LoadsweepTorusKneeMBps, fresh.LoadsweepFlatKneeMBps))
@@ -200,6 +243,7 @@ func runBenchJSON(args []string) error {
 	r.GOMAXPROCS = runtime.GOMAXPROCS(0)
 	r.EngineEventsPerSec, r.EngineAllocsPerEvent = engineThroughput()
 	canaries(&r)
+	r.TraceOverheadPct, _ = traceOverhead()
 
 	r.Fig6MemoryWallMs = timeTable(func() *harness.Table { return harness.Fig6(cni.MemoryBus) })
 	r.Fig7MemoryWallMs = timeTable(func() *harness.Table { return harness.Fig7(cni.MemoryBus) })

@@ -55,7 +55,14 @@ func runFaultSweep(args []string) error {
 		}
 		opt.Topos = []cni.Topology{topo}
 	}
+	pm := startProgress("faultsweep")
+	if pm != nil {
+		opt.Progress = func(cell string, drop float64) {
+			pm.note(cell, fmt.Sprintf("@ drop %g", drop))
+		}
+	}
 	t, rows := cni.FaultSweep(opt)
+	pm.finish()
 	printTable(t, *jsonOut, *csvOut)
 	// As with loadsweep, Data carries the CSV summary grid plus the full
 	// per-NI ladders (per-rung counters included) under Extra.

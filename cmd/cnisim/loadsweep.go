@@ -58,7 +58,14 @@ func runLoadSweep(args []string) error {
 		}
 		return runLoadPoint(opt, *load)
 	}
+	pm := startProgress("loadsweep")
+	if pm != nil {
+		opt.Progress = func(cell string, mbps float64) {
+			pm.note(cell, fmt.Sprintf("@ %.1f MB/s offered", mbps))
+		}
+	}
 	t, rows := cni.LoadSweep(opt)
+	pm.finish()
 	printTable(t, *jsonOut, *csvOut)
 	// The sweep's Data carries the CSV summary schema as its grid and
 	// the full per-NI ladders under Extra, so the uniform --json/--csv

@@ -23,7 +23,14 @@
 //	cnisim loadsweep --load=8 --ni=CNI512Q --topology=torus   (one load point, MB/s per node)
 //	cnisim faultsweep [--drop=1e-3] [--degrade=4] [--seed=7] [--ni=...] [--topology=...]
 //	cnisim benchjson [--out=BENCH_sim.json] [--check]
+//	cnisim trace loadsweep --topology=torus [--out=trace.json] [--sample-every=1000]
 //	cnisim all
+//
+// The global --trace=out.json / --sample-every=N / --progress flags
+// work on every command: any machine the command builds records its
+// message lifecycles (and optionally periodic occupancy samples) and
+// the merged timeline is written as Chrome trace-event JSON, loadable
+// in Perfetto.
 package main
 
 import (
@@ -37,9 +44,15 @@ import (
 )
 
 func main() {
-	// Profile flags are shared by every subcommand and may sit before
-	// or after the command word; strip them before dispatch.
+	// Profile and telemetry flags are shared by every subcommand and
+	// may sit before or after the command word; strip them before
+	// dispatch.
 	prof, args, err := parseProfileFlags(os.Args[1:])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cnisim:", err)
+		os.Exit(2)
+	}
+	tf, args, err := parseTraceFlags(args)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cnisim:", err)
 		os.Exit(2)
@@ -54,7 +67,19 @@ func main() {
 		fmt.Fprintln(os.Stderr, "cnisim:", err)
 		os.Exit(1)
 	}
-	err = run(cmd, args)
+	if cmd == "trace" {
+		// The dedicated trace command owns the telemetry flags itself.
+		err = runTrace(tf, args)
+	} else {
+		var finishTrace func() error
+		finishTrace, err = tf.install()
+		if err == nil {
+			err = run(cmd, args)
+			if terr := finishTrace(); err == nil {
+				err = terr
+			}
+		}
+	}
 	if perr := stopProf(); err == nil {
 		err = perr
 	}
@@ -88,6 +113,9 @@ commands:
   exchange          personalised all-to-all (--ni --bus --nodes --size --rounds --topology)
   bench             one macrobenchmark run (--app --ni --bus --nodes --topology)
   benchjson         write headline perf metrics to BENCH_sim.json (--out; --check diffs canaries)
+  trace             run one target (loadsweep, latency, bandwidth, incast, exchange)
+                    with full telemetry and write its Perfetto-loadable timeline
+                    (--out --sample-every --ni --bus --topology --size --nodes)
   all               every experiment in sequence
 
 flags:
@@ -96,6 +124,13 @@ flags:
   --json=path  --csv=path         machine-readable export, uniform across every
                                   experiment command ("-" writes to stdout and
                                   suppresses the human-readable table)
+  --trace=path                    record message lifecycles on every machine the
+                                  command builds; write one merged Chrome trace
+                                  JSON (open in https://ui.perfetto.dev)
+  --sample-every=N                with --trace: sample link/queue/window occupancy
+                                  and counter rates every N simulated cycles
+  --progress                      heartbeat sweep progress to stderr (loadsweep,
+                                  faultsweep)
   --cpuprofile=path               write a pprof CPU profile of the run (any command)
   --memprofile=path               write a pprof heap profile at exit (any command)`
 

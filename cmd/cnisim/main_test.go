@@ -308,7 +308,7 @@ func TestUsageListsEveryExperiment(t *testing.T) {
 			t.Errorf("usage text does not mention experiment %q (looked for %q)", name, base)
 		}
 	}
-	for _, cmd := range []string{"latency", "bandwidth", "incast", "exchange", "bench", "benchjson", "all", "list", "--topology", "loadsweep", "--arrival"} {
+	for _, cmd := range []string{"latency", "bandwidth", "incast", "exchange", "bench", "benchjson", "all", "list", "--topology", "loadsweep", "--arrival", "trace", "--trace", "--sample-every", "--progress"} {
 		if !strings.Contains(usageText, cmd) {
 			t.Errorf("usage text does not mention %q", cmd)
 		}

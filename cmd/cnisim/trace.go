@@ -1,0 +1,195 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	cni "repro"
+	"repro/internal/scenario"
+	"repro/internal/trace"
+)
+
+// traceFlags carries the global telemetry flags shared by every
+// subcommand: --trace=path records message lifecycles on every machine
+// the command builds and writes one merged Chrome trace JSON at exit,
+// --sample-every=N adds the periodic time-series sampler, and
+// --progress turns on the sweeps' wall-clock heartbeat. Like the pprof
+// flags they are extracted before subcommand dispatch.
+type traceFlags struct {
+	out         string
+	sampleEvery uint64
+	progress    bool
+}
+
+// parseTraceFlags strips --trace/--sample-every/--progress (either
+// --flag=value or --flag value, one or two dashes; --progress is
+// boolean) from args and returns the remaining arguments untouched,
+// in order.
+func parseTraceFlags(args []string) (traceFlags, []string, error) {
+	var tf traceFlags
+	rest := make([]string, 0, len(args))
+	for i := 0; i < len(args); i++ {
+		a := args[i]
+		name := strings.TrimLeft(a, "-")
+		val, hasVal := "", false
+		if eq := strings.IndexByte(name, '='); eq >= 0 {
+			name, val, hasVal = name[:eq], name[eq+1:], true
+		}
+		if !strings.HasPrefix(a, "-") || (name != "trace" && name != "sample-every" && name != "progress") {
+			rest = append(rest, a)
+			continue
+		}
+		if name == "progress" {
+			on := true
+			if hasVal {
+				var err error
+				if on, err = strconv.ParseBool(val); err != nil {
+					return tf, nil, fmt.Errorf("--progress=%s: want a boolean", val)
+				}
+			}
+			tf.progress = on
+			continue
+		}
+		if !hasVal {
+			if i+1 >= len(args) {
+				return tf, nil, fmt.Errorf("--%s needs a value", name)
+			}
+			i++
+			val = args[i]
+		}
+		switch name {
+		case "trace":
+			tf.out = val
+		case "sample-every":
+			n, err := strconv.ParseUint(val, 10, 64)
+			if err != nil {
+				return tf, nil, fmt.Errorf("--sample-every=%s: want a cycle count", val)
+			}
+			tf.sampleEvery = n
+		}
+	}
+	return tf, rest, nil
+}
+
+// install arms the default-trace collector per the global flags and
+// returns a finish function that drains every captured machine and
+// writes the merged export. It must run after the command, error or
+// not, so a failing run still flushes what it traced.
+func (tf traceFlags) install() (finish func() error, err error) {
+	progressOn = tf.progress
+	if tf.out == "" {
+		if tf.sampleEvery > 0 {
+			return nil, fmt.Errorf("--sample-every needs --trace=<path> to write its series to")
+		}
+		return func() error { return nil }, nil
+	}
+	scenario.SetDefaultTrace(cni.TraceSpec{Enabled: true, SampleEvery: tf.sampleEvery})
+	return func() error {
+		defer scenario.SetDefaultTrace(cni.TraceSpec{})
+		caps := scenario.DrainCaptures()
+		if len(caps) == 0 {
+			return fmt.Errorf("--trace=%s: the command built no simulated machines to trace", tf.out)
+		}
+		return writeTraceFile(tf.out, caps)
+	}, nil
+}
+
+// writeTraceFile writes one merged Chrome trace JSON document and
+// announces its span accounting on stderr (stdout stays reserved for
+// the command's own output).
+func writeTraceFile(path string, caps []trace.Capture) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	sum, err := scenario.WriteCaptures(f, caps)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s: %d machines, %d records -> %d events (%d message spans, %d user deliveries, %d link spans, %d samples)\n",
+		path, len(caps), sum.Records, sum.Events, sum.FragSpans, sum.UserSpans, sum.LinkSpans, sum.Samples)
+	if sum.Overwritten > 0 {
+		fmt.Fprintf(os.Stderr, "warning: %d records overwritten (raise Trace.RingSize or trace a shorter run)\n", sum.Overwritten)
+	}
+	return nil
+}
+
+// runTrace is the dedicated trace subcommand: run one well-known
+// measurement with full telemetry on and write its timeline. The
+// loadsweep target replays the benchjson canary's machine (the
+// CNI512Q saturation-knee load point), so the trace's user-delivery
+// spans cross-check against the pinned delivered-message count.
+func runTrace(tf traceFlags, args []string) error {
+	if len(args) < 1 || strings.HasPrefix(args[0], "-") {
+		return fmt.Errorf("trace: need a target (loadsweep, latency, bandwidth, incast, or exchange)")
+	}
+	target, args := args[0], args[1:]
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	ni := fs.String("ni", "CNI512Q", "NI design")
+	bus := fs.String("bus", "memory", "bus attachment")
+	topology := fs.String("topology", "torus", "interconnect fabric (flat or torus)")
+	size := fs.Int("size", 64, "message payload bytes (micro targets)")
+	nodes := fs.Int("nodes", 16, "node count (incast/exchange)")
+	out := fs.String("out", "trace.json", "Chrome trace JSON output path")
+	sampleEvery := fs.Uint64("sample-every", cni.TraceSampleDefault, "time-series sampling period in cycles (0 disables the sampler)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	// The global flags double as overrides, so `--trace=x.json` and
+	// `--sample-every=N` mean the same thing on every command.
+	path := *out
+	if tf.out != "" {
+		path = tf.out
+	}
+	every := *sampleEvery
+	if tf.sampleEvery > 0 {
+		every = tf.sampleEvery
+	}
+
+	scenario.SetDefaultTrace(cni.TraceSpec{Enabled: true, SampleEvery: every})
+	defer scenario.SetDefaultTrace(cni.TraceSpec{})
+
+	n := *nodes
+	if target == "latency" || target == "bandwidth" {
+		n = 2
+	}
+	cfg, err := parseConfig(*ni, *bus, *topology, n)
+	if err != nil {
+		return err
+	}
+	switch target {
+	case "loadsweep":
+		wl := cni.DefaultWorkload()
+		wl.OfferedMBps = cni.LoadsweepBenchPerNodeMBps
+		cfg.Nodes = cni.LoadsweepBenchNodes
+		cfg.Workload = &wl
+		if err := cfg.Validate(); err != nil {
+			return err
+		}
+		rep := cni.MeasureLoad(cfg, cni.LoadsweepBenchWarm, cni.LoadsweepBenchMeasure)
+		fmt.Printf("%s saturation-knee point: offered %.1f MB/s, goodput %.1f MB/s, delivered %d\n",
+			cfg.Name(), rep.OfferedMBps, rep.GoodputMBps, rep.Delivered)
+	case "latency":
+		rtt := cni.RoundTrip(cfg, *size, 4)
+		fmt.Printf("%s %dB round-trip: %d cycles (%.2f us)\n",
+			cfg.Name(), *size, rtt, cni.Microseconds(rtt))
+	case "bandwidth":
+		bw := cni.Bandwidth(cfg, *size, 200)
+		fmt.Printf("%s %dB bandwidth: %.1f MB/s\n", cfg.Name(), *size, bw)
+	case "incast":
+		bw := cni.HotspotIncast(cfg, *size, 24)
+		fmt.Printf("%s %d-node incast: %.1f MB/s at the sink\n", cfg.Name(), cfg.Nodes, bw)
+	case "exchange":
+		cyc := cni.AllToAllExchange(cfg, *size, 3)
+		fmt.Printf("%s %d-node all-to-all: %d cycles/round\n", cfg.Name(), cfg.Nodes, cyc)
+	default:
+		return fmt.Errorf("trace: unknown target %q (valid: loadsweep, latency, bandwidth, incast, exchange)", target)
+	}
+	return writeTraceFile(path, scenario.DrainCaptures())
+}

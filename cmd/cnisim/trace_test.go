@@ -1,0 +1,137 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestTraceFlags pins the shared telemetry flag handling, mirroring
+// the pprof contract: extraction from any position in any spelling,
+// a missing value is a parse error, and --progress is boolean.
+func TestTraceFlags(t *testing.T) {
+	tf, rest, err := parseTraceFlags([]string{
+		"--trace=t.json", "--json=-", "-sample-every", "250", "--bus=io", "--progress",
+	})
+	if err != nil {
+		t.Fatalf("parseTraceFlags: %v", err)
+	}
+	if tf.out != "t.json" || tf.sampleEvery != 250 || !tf.progress {
+		t.Fatalf("parsed %+v, want t.json/250/progress", tf)
+	}
+	if want := []string{"--json=-", "--bus=io"}; len(rest) != 2 || rest[0] != want[0] || rest[1] != want[1] {
+		t.Fatalf("rest = %v, want %v", rest, want)
+	}
+	if tf, _, err := parseTraceFlags([]string{"--progress=false"}); err != nil || tf.progress {
+		t.Errorf("--progress=false: %+v, %v", tf, err)
+	}
+	if _, _, err := parseTraceFlags([]string{"--trace"}); err == nil {
+		t.Error("--trace without a path should error")
+	}
+	if _, _, err := parseTraceFlags([]string{"--sample-every"}); err == nil {
+		t.Error("--sample-every without a count should error")
+	}
+	if _, _, err := parseTraceFlags([]string{"--sample-every=soon"}); err == nil {
+		t.Error("--sample-every with a non-integer should error")
+	}
+	if _, _, err := parseTraceFlags([]string{"--progress=perhaps"}); err == nil {
+		t.Error("--progress with a non-boolean should error")
+	}
+
+	// Sampling is written into the trace file, so it needs one.
+	if _, err := (traceFlags{sampleEvery: 100}).install(); err == nil {
+		t.Error("--sample-every without --trace should error at install")
+	}
+}
+
+// TestGlobalTraceFlag runs a stock command under --trace end to end:
+// the collector must capture the machine the command builds and write
+// a Chrome trace JSON document at finish.
+func TestGlobalTraceFlag(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "latency.json")
+	finish, err := (traceFlags{out: path, sampleEvery: 200}).install()
+	if err != nil {
+		t.Fatalf("install: %v", err)
+	}
+	if err := run("latency", []string{"--ni=CNI512Q", "--bus=memory", "--size=32"}); err != nil {
+		t.Fatalf("traced latency run: %v", err)
+	}
+	if err := finish(); err != nil {
+		t.Fatalf("finish: %v", err)
+	}
+	assertChromeTrace(t, path)
+
+	// A command that builds no machines must say so rather than write
+	// an empty trace.
+	finish, err = (traceFlags{out: path}).install()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run("list", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := finish(); err == nil || !strings.Contains(err.Error(), "no simulated machines") {
+		t.Errorf("finish after a machine-less command: %v", err)
+	}
+}
+
+// TestRunTraceCommand runs the dedicated subcommand on a micro target
+// and checks the target-word validation.
+func TestRunTraceCommand(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bw.json")
+	err := runTrace(traceFlags{}, []string{"bandwidth", "--ni=CNI512Q", "--size=256", "--out=" + path})
+	if err != nil {
+		t.Fatalf("trace bandwidth: %v", err)
+	}
+	assertChromeTrace(t, path)
+
+	if err := runTrace(traceFlags{}, nil); err == nil || !strings.Contains(err.Error(), "loadsweep") {
+		t.Errorf("trace without a target should list the valid targets, got %v", err)
+	}
+	if err := runTrace(traceFlags{}, []string{"teleport"}); err == nil || !strings.Contains(err.Error(), "teleport") {
+		t.Errorf("trace with an unknown target should name it, got %v", err)
+	}
+}
+
+// assertChromeTrace parses path as a Chrome trace-event document and
+// requires a non-empty event list.
+func assertChromeTrace(t *testing.T, path string) {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("trace file not written: %v", err)
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("%s is not Chrome trace JSON: %v", path, err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatalf("%s has no trace events", path)
+	}
+}
+
+// TestProgressMeter drives the heartbeat directly (progressOn gates
+// startProgress) and checks the nil-meter path stays safe when
+// --progress is off.
+func TestProgressMeter(t *testing.T) {
+	var off *progressMeter
+	off.note("cell", "detail")
+	off.finish() // nil-safe no-ops
+
+	progressOn = true
+	defer func() { progressOn = false }()
+	pm := startProgress("testsweep")
+	if pm == nil {
+		t.Fatal("startProgress returned nil with progressOn set")
+	}
+	pm.note("CNI512Q/torus", "@ 4.0 MB/s offered")
+	pm.note("CNI512Q/torus", "@ 5.2 MB/s offered")
+	pm.finish()
+	if pm.n != 2 {
+		t.Errorf("meter counted %d points, want 2", pm.n)
+	}
+}

@@ -44,6 +44,7 @@ import (
 	"repro/internal/params"
 	"repro/internal/scenario"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -178,6 +179,28 @@ type FaultPause = params.FaultPause
 
 // FaultCrash kills one node's NI at a simulated time.
 type FaultCrash = params.FaultCrash
+
+// TraceSpec configures the zero-overhead telemetry subsystem
+// (internal/trace): Enabled turns on message-lifecycle recording into
+// per-node rings, SampleEvery > 0 adds the periodic time-series
+// sampler. The zero value wires nothing and leaves every simulation
+// byte-identical to an untraced build. Attach one to Config.Trace;
+// read the handles back with Machine.TraceRecorder /
+// Machine.TraceSampler and export Perfetto-loadable Chrome trace JSON
+// with Machine.WriteTrace. (The name Trace is already taken by the
+// scenario run result.)
+type TraceSpec = params.Trace
+
+// TraceSummary accounts for one trace export: record, span, and
+// sample counts (Machine.WriteTrace's result).
+type TraceSummary = trace.Summary
+
+// Default trace-ring capacity (records per node) and sampling period
+// (cycles), applied when TraceSpec leaves them zero.
+const (
+	TraceRingDefault   = params.TraceRingDefault
+	TraceSampleDefault = params.TraceSampleDefault
+)
 
 // LoadsweepBench* pin the "heaviest path" benchmark load point shared
 // by BenchmarkTorusLoadsweep and the benchjson

@@ -1,0 +1,112 @@
+package harness
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/params"
+	"repro/internal/scenario"
+)
+
+// countersDoc parses COUNTERS.md into the set of documented counter
+// names: the first backticked token of each table row.
+func countersDoc(t *testing.T) map[string]bool {
+	t.Helper()
+	raw, err := os.ReadFile(filepath.Join("..", "..", "COUNTERS.md"))
+	if err != nil {
+		t.Fatalf("counter registry missing: %v", err)
+	}
+	row := regexp.MustCompile("^\\| `([^`]+)` \\|")
+	doc := map[string]bool{}
+	for _, line := range strings.Split(string(raw), "\n") {
+		if m := row.FindStringSubmatch(line); m != nil {
+			doc[m[1]] = true
+		}
+	}
+	if len(doc) == 0 {
+		t.Fatal("COUNTERS.md has no counter rows")
+	}
+	return doc
+}
+
+// observedCounters runs a fault-injected, trace-enabled ring exchange
+// on every NI design and both fabrics and collects the union of live
+// counter names, node indices normalised to node*. The drop rate and
+// reliable transport make sure the failure-path counters
+// (net.retransmits, net.checksum_fail, ...) exist, and the torus run
+// adds the net.torus.* family.
+func observedCounters(t *testing.T) map[string]bool {
+	t.Helper()
+	names := map[string]bool{}
+	nis := append(append([]params.NIKind{}, params.AllNIs...), params.DMA)
+	for _, ni := range nis {
+		for _, topo := range []params.Topology{params.TopoFlat, params.TopoTorus} {
+			cfg := FaultConfig(FaultOptions{Seed: 1}, ni, topo, 1e-2)
+			cfg.Trace = params.Trace{Enabled: true, SampleEvery: 1000}
+			cfg.Workload = SweepWorkload(SweepOptions{}, FaultPerNodeMBps, 0)
+			m, err := scenario.Build(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sc := scenario.New()
+			var got int
+			for id := 0; id < cfg.Nodes; id++ {
+				id := id
+				sc.At(id, func(ep *scenario.Endpoint) {
+					ep.Handle(3, func(d *scenario.Delivery) { got++ })
+					ep.SendTo((id+1)%cfg.Nodes, 3, 400, nil)
+					ep.PollUntil(func() bool { return got >= cfg.Nodes })
+				})
+			}
+			m.Run(sc)
+			for _, n := range m.Stats().Counters() {
+				names[n] = true
+			}
+			m.Close()
+		}
+	}
+	node := regexp.MustCompile(`^node\d+\.`)
+	norm := map[string]bool{}
+	for n := range names {
+		norm[node.ReplaceAllString(n, "node*.")] = true
+	}
+	return norm
+}
+
+// TestCounterRegistry enforces the COUNTERS.md contract in both
+// directions: every counter the simulator emits is documented, and —
+// because the fabric/transport names are the ones sweep exports and
+// benchjson canaries key on — every documented net.* counter is still
+// emitted. (Non-net documented counters are allowed to go unobserved
+// by a particular configuration; emitting an undocumented one never
+// is.)
+func TestCounterRegistry(t *testing.T) {
+	doc := countersDoc(t)
+	obs := observedCounters(t)
+
+	var missing []string
+	for n := range obs {
+		if !doc[n] {
+			missing = append(missing, n)
+		}
+	}
+	sort.Strings(missing)
+	for _, n := range missing {
+		t.Errorf("counter %q is emitted but not documented in COUNTERS.md", n)
+	}
+
+	var gone []string
+	for n := range doc {
+		if strings.HasPrefix(n, "net.") && !obs[n] {
+			gone = append(gone, n)
+		}
+	}
+	sort.Strings(gone)
+	for _, n := range gone {
+		t.Errorf("COUNTERS.md documents %q but the fault-enabled run no longer emits it", n)
+	}
+}

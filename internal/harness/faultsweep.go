@@ -78,6 +78,11 @@ type FaultOptions struct {
 	DegradeX float64
 	NIs      []params.NIKind
 	Topos    []params.Topology
+	// Progress, when non-nil, is called once per measured rung with
+	// the cell's "NI/topology" label and the rung's injected drop
+	// rate. Cells fan out over worker goroutines, so the callback must
+	// be goroutine-safe.
+	Progress func(cell string, dropRate float64)
 }
 
 // FaultConfig builds the machine configuration for one fault point —
@@ -125,6 +130,9 @@ func faultSweepOne(opt FaultOptions, ladder []float64, ni params.NIKind, topo pa
 	row := FaultRow{NI: ni.String(), Topology: topo.String(), KneeDropRate: ladder[0]}
 	for _, drop := range ladder {
 		row.Ladder = append(row.Ladder, measureFault(FaultConfig(opt, ni, topo, drop), drop))
+		if opt.Progress != nil {
+			opt.Progress(row.NI+"/"+row.Topology, drop)
+		}
 	}
 	base := row.Ladder[0].GoodputMBps
 	for _, pt := range row.Ladder {

@@ -99,6 +99,19 @@ type SweepOptions struct {
 	Seed  uint64
 	NIs   []params.NIKind
 	Topos []params.Topology
+	// Progress, when non-nil, is called once per measured load point
+	// with the cell's "NI/topology" label and the point's aggregate
+	// offered load in MB/s (the self-limited goodput for closed-loop
+	// rungs). Cells fan out over worker goroutines, so the callback
+	// must be goroutine-safe.
+	Progress func(cell string, offeredMBps float64)
+}
+
+// notify reports one measured point to the Progress callback.
+func (opt *SweepOptions) notify(cell string, offeredMBps float64) {
+	if opt.Progress != nil {
+		opt.Progress(cell, offeredMBps)
+	}
 }
 
 // SweepWorkload builds the workload spec for one load point: the
@@ -148,6 +161,7 @@ func measure(cfg params.Config) SweepPoint {
 // sweepFracs of the knee.
 func sweepOne(opt SweepOptions, ni params.NIKind, topo params.Topology) SweepRow {
 	row := SweepRow{NI: ni.String(), Topology: topo.String()}
+	cell := row.NI + "/" + row.Topology
 	cfg := func(wl *params.Workload) params.Config {
 		return params.Config{Nodes: SweepNodes, NI: ni, Bus: params.MemoryBus, Topology: topo, Workload: wl}
 	}
@@ -159,6 +173,7 @@ func sweepOne(opt SweepOptions, ni params.NIKind, topo params.Topology) SweepRow
 		kneeClients := 1
 		for c := 1; c <= closedMaxClients; c *= 2 {
 			pt := measure(cfg(SweepWorkload(opt, 0, c)))
+			opt.notify(cell, pt.GoodputMBps)
 			row.Ladder = append(row.Ladder, pt)
 			if pt.GoodputMBps > row.SaturationMBps {
 				row.SaturationMBps = pt.GoodputMBps
@@ -177,6 +192,7 @@ func sweepOne(opt SweepOptions, ni params.NIKind, topo params.Topology) SweepRow
 				c = 1
 			}
 			row.AtFrac[i] = measure(cfg(SweepWorkload(opt, 0, c)))
+			opt.notify(cell, row.AtFrac[i].GoodputMBps)
 		}
 		return row
 	}
@@ -184,6 +200,7 @@ func sweepOne(opt SweepOptions, ni params.NIKind, topo params.Topology) SweepRow
 	knee := sweepBaseMBps
 	for rung := 0; rung < sweepMaxRungs; rung++ {
 		pt := measure(cfg(SweepWorkload(opt, perNode, 0)))
+		opt.notify(cell, pt.OfferedMBps)
 		row.Ladder = append(row.Ladder, pt)
 		if pt.GoodputMBps > row.SaturationMBps {
 			row.SaturationMBps = pt.GoodputMBps
@@ -198,6 +215,7 @@ func sweepOne(opt SweepOptions, ni params.NIKind, topo params.Topology) SweepRow
 	row.KneeOfferedMBps = knee * SweepNodes
 	for i, f := range sweepFracs {
 		row.AtFrac[i] = measure(cfg(SweepWorkload(opt, f*knee, 0)))
+		opt.notify(cell, row.AtFrac[i].OfferedMBps)
 	}
 	return row
 }

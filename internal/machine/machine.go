@@ -19,6 +19,7 @@ import (
 	"repro/internal/params"
 	"repro/internal/proc"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Node-local address map. Every node has an identical private
@@ -64,6 +65,11 @@ type Machine struct {
 	Stats *sim.Stats
 	Net   network.Interconnect
 	Nodes []*Node
+
+	// Rec/Smp are the telemetry recorder and sampler, nil unless
+	// Cfg.Trace activates them (internal/trace).
+	Rec *trace.Recorder
+	Smp *trace.Sampler
 }
 
 // newInterconnect builds the fabric cfg.Topology selects.
@@ -91,10 +97,75 @@ func New(cfg params.Config) *Machine {
 	if cfg.Faults.Injects() {
 		m.Net.AttachFaults(fault.New(eng, st, cfg.Nodes, cfg.Faults))
 	}
+	if cfg.Trace.Active() {
+		m.Rec = trace.NewRecorder(eng, cfg.Nodes, cfg.Trace.Ring())
+		m.Net.AttachTrace(m.Rec)
+	}
 	for id := 0; id < cfg.Nodes; id++ {
 		m.Nodes = append(m.Nodes, m.buildNode(id))
 	}
+	if cfg.Trace.SampleEvery > 0 {
+		m.Smp = trace.NewSampler(eng, sim.Time(cfg.Trace.SampleEvery))
+		m.registerSamples()
+	}
 	return m
+}
+
+// registerSamples wires the sampler's columns: fabric gauges (window
+// occupancy, edge backlog, link occupancy and queue depths on the
+// torus), the transport's retransmit backlog, and the hot counters as
+// per-interval deltas. Probes read state; they never mutate it.
+func (m *Machine) registerSamples() {
+	type fabricGauges interface {
+		TotalInFlight() int
+		TotalPending() int
+	}
+	if fg, ok := m.Net.(fabricGauges); ok {
+		m.Smp.Gauge("window.inflight", func() float64 { return float64(fg.TotalInFlight()) })
+		m.Smp.Gauge("edge.pending", func() float64 { return float64(fg.TotalPending()) })
+	}
+	if t, ok := m.Net.(*network.Torus); ok {
+		m.Smp.Gauge("links.busy", func() float64 {
+			n := 0
+			for li := 0; li < t.Links(); li++ {
+				if t.LinkBusy(li) {
+					n++
+				}
+			}
+			return float64(n)
+		})
+		m.Smp.Gauge("links.queued", func() float64 {
+			n := 0
+			for li := 0; li < t.Links(); li++ {
+				n += t.LinkQueueLen(li)
+			}
+			return float64(n)
+		})
+		for li := 0; li < t.Links(); li++ {
+			li := li
+			m.Smp.Gauge("linkq."+t.LinkName(li), func() float64 {
+				return float64(t.LinkQueueLen(li))
+			})
+		}
+	}
+	m.Smp.Gauge("retx.backlog", func() float64 {
+		n := 0
+		for _, nd := range m.Nodes {
+			n += nd.Msgr.RetxBacklog()
+		}
+		return float64(n)
+	})
+	for _, name := range []string{"net.msg", "net.bytes", "net.window.stall", "net.backpressure"} {
+		m.Smp.Counter(name, m.Stats.Counter(name))
+	}
+	if m.Cfg.Topology == params.TopoTorus {
+		m.Smp.Counter("net.torus.hop", m.Stats.Counter("net.torus.hop"))
+		m.Smp.Counter("net.torus.link.wait", m.Stats.Counter("net.torus.link.wait"))
+	}
+	if m.Cfg.Faults.Active() {
+		m.Smp.Counter("net.retransmits", m.Stats.Counter("net.retransmits"))
+		m.Smp.Counter("net.acks", m.Stats.Counter("net.acks"))
+	}
 }
 
 func (m *Machine) buildNode(id int) *Node {
@@ -133,6 +204,9 @@ func (m *Machine) buildNode(id int) *Node {
 	}
 	m.Net.Register(id, ni)
 	msgr := msg.New(id, cpu, ni, m.Stats, MsgBufBase, cfg.Nodes, cfg.Faults)
+	if m.Rec != nil {
+		msgr.AttachTrace(m.Rec)
+	}
 	return &Node{ID: id, Fabric: fab, Mem: mem, Cache: pc, CPU: cpu, NI: ni, Msgr: msgr}
 }
 
@@ -145,8 +219,15 @@ func (m *Machine) Spawn(id int, body func(p *sim.Process, n *Node)) {
 }
 
 // Run drains the event queue (or stops at horizon) and returns the
-// final simulated time in cycles.
-func (m *Machine) Run(horizon sim.Time) sim.Time { return m.Eng.Run(horizon) }
+// final simulated time in cycles. The sampler, when configured, is
+// re-armed here so back-to-back runs keep sampling (its tick stops
+// itself at quiescence to let the queue drain).
+func (m *Machine) Run(horizon sim.Time) sim.Time {
+	if m.Smp != nil {
+		m.Smp.Ensure()
+	}
+	return m.Eng.Run(horizon)
+}
 
 // Stop unwinds device processes; call once after Run.
 func (m *Machine) Stop() { m.Eng.Stop() }

@@ -17,6 +17,7 @@ import (
 	"repro/internal/params"
 	"repro/internal/proc"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Software-path costs in processor cycles. The messaging layer's
@@ -84,6 +85,12 @@ type Messenger struct {
 	// fault configuration activates it (params.Faults.Active). When
 	// nil the message path is bit-identical to a pre-transport build.
 	rel *rel
+
+	// rec is the lifecycle recorder, nil unless the machine's trace
+	// configuration activates it (params.Trace.Active). Hooks behind
+	// nil checks, same contract as rel: nil is bit-identical to a
+	// pre-trace build.
+	rec *trace.Recorder
 }
 
 // New creates a messenger for a node of an n-node machine. bufAddr is
@@ -105,6 +112,25 @@ func New(node int, cpu *proc.CPU, ni nic.NI, st *sim.Stats, bufAddr uint64, n in
 		ms.rel = newRel(ms, n, st)
 	}
 	return ms
+}
+
+// AttachTrace hooks the lifecycle recorder into the messaging layer:
+// user-message dispatch and the reliable tier's ack/retransmit
+// events. Never called means fully disabled and bit-identical.
+func (ms *Messenger) AttachTrace(rec *trace.Recorder) { ms.rec = rec }
+
+// RetxBacklog reports the reliable tier's sent-but-unacked frame
+// count summed over all peers (0 with the transport off) — the trace
+// sampler's retransmit-backlog gauge.
+func (ms *Messenger) RetxBacklog() int {
+	if ms.rel == nil {
+		return 0
+	}
+	total := 0
+	for i := range ms.rel.peers {
+		total += ms.rel.peers[i].unacked.Len()
+	}
+	return total
 }
 
 // Node returns the node id.
@@ -290,6 +316,9 @@ func (ms *Messenger) accept(p *sim.Process, m *network.Msg) {
 	}
 	delete(ms.partial, k)
 	ms.Received++
+	if ms.rec != nil {
+		ms.rec.Note(ms.node, trace.KUserDeliver, m.ID, -1, int32(m.Src), int32(ms.node), 0, 0)
+	}
 	h, ok := ms.handlers[pa.handler]
 	if !ok {
 		panic(fmt.Sprintf("msg: node %d has no handler %d", ms.node, pa.handler))

@@ -3,6 +3,7 @@ package msg
 import (
 	"repro/internal/network"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Reliable-delivery transport (the tier above the fabric's sliding
@@ -193,6 +194,9 @@ func (r *rel) tickPeer(p *sim.Process, peer int) {
 		pe.headRetx = true
 		pe.lastRetx = p.Now()
 		r.retransmits.Inc()
+		if r.ms.rec != nil {
+			r.ms.rec.Note(r.ms.node, trace.KRetx, mm.Seq, -1, int32(mm.Src), int32(mm.Dst), uint8(mm.Frag), 0)
+		}
 		if pe.rto *= RelRetxBackoff; pe.rto > RelRtoMax {
 			pe.rto = RelRtoMax
 		}
@@ -438,4 +442,7 @@ func (r *rel) sendAck(p *sim.Process, peer int, pe *relPeer) {
 	pe.pendingAcks = 0
 	pe.ackDeadline = 0
 	r.acks.Inc()
+	if r.ms.rec != nil {
+		r.ms.rec.Note(r.ms.node, trace.KAck, a.Ack, -1, int32(a.Src), int32(a.Dst), 0, trace.FlagAck)
+	}
 }

@@ -7,6 +7,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/params"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // The conformance suite runs every Interconnect implementation
@@ -274,6 +275,104 @@ func TestTorusFaultPathZeroAlloc(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Errorf("fault-enabled torus inject->deliver->ack allocates %.2f objects/op, want 0", allocs)
+	}
+	if port.n == 0 {
+		t.Fatal("no messages delivered")
+	}
+	e.Stop()
+}
+
+// TestTraceHotPathZeroAlloc pins the recorder-attached steady-state
+// inject->deliver->ack cycle at zero allocations per event on both
+// fabrics — the telemetry tentpole's enabled-cost half (DESIGN.md
+// §12): hooks write fixed-size records into preallocated per-node
+// rings through prebuilt callbacks, never closures or boxing.
+func TestTraceHotPathZeroAlloc(t *testing.T) {
+	forEachImpl(t, func(t *testing.T, c implCase) {
+		e := sim.NewEngine()
+		st := sim.NewStats(e)
+		ic := c.build(e, st, c.nodes)
+		rec := trace.NewRecorder(e, c.nodes, 256)
+		ic.AttachTrace(rec)
+		port := &countingPort{}
+		for i := 0; i < c.nodes; i++ {
+			ic.Register(i, port)
+		}
+		dst := c.nodes - 1
+		m := &Msg{Src: 0, Dst: dst, Size: 64, Blocks: 2}
+		kick := sim.NewCond(e)
+		e.Spawn("src", func(p *sim.Process) {
+			for {
+				kick.Wait(p)
+				for i := 0; i < params.NetWindow; i++ {
+					ic.Inject(p, m)
+				}
+			}
+		})
+		e.RunAll()
+		// Warm the FIFO backing arrays and the event heap; the rings are
+		// preallocated, and small enough here that the steady state wraps
+		// them (wrapping must not allocate either).
+		for i := 0; i < 8; i++ {
+			kick.Signal()
+			e.RunAll()
+		}
+		allocs := testing.AllocsPerRun(200, func() {
+			kick.Signal()
+			e.RunAll()
+		})
+		if allocs != 0 {
+			t.Errorf("%s traced inject->deliver->ack allocates %.2f objects/op, want 0", c.name, allocs)
+		}
+		if rec.Len(0) == 0 || rec.Len(dst) == 0 {
+			t.Fatal("recorder captured nothing")
+		}
+		if rec.Overwritten() == 0 {
+			t.Error("steady state should have wrapped the 256-record rings")
+		}
+		e.Stop()
+	})
+}
+
+// TestTraceFaultPathZeroAlloc pins the combination: recorder attached
+// AND fault injector active (drop hooks live on the fault path), still
+// zero allocations per event on the torus.
+func TestTraceFaultPathZeroAlloc(t *testing.T) {
+	e := sim.NewEngine()
+	st := sim.NewStats(e)
+	tor := NewTorus(e, st, 4)
+	tor.AttachFaults(fault.New(e, st, 4, params.Faults{
+		Seed:              1,
+		DegradeUntil:      1 << 40,
+		DegradeLatencyX:   2,
+		DegradeBandwidthX: 2,
+	}))
+	tor.AttachTrace(trace.NewRecorder(e, 4, 256))
+	port := &countingPort{}
+	for i := 0; i < 4; i++ {
+		tor.Register(i, port)
+	}
+	m := &Msg{Src: 0, Dst: 3, Size: 64, Blocks: 2}
+	kick := sim.NewCond(e)
+	e.Spawn("src", func(p *sim.Process) {
+		for {
+			kick.Wait(p)
+			for i := 0; i < params.NetWindow; i++ {
+				tor.Inject(p, m)
+			}
+		}
+	})
+	e.RunAll()
+	for i := 0; i < 8; i++ {
+		kick.Signal()
+		e.RunAll()
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		kick.Signal()
+		e.RunAll()
+	})
+	if allocs != 0 {
+		t.Errorf("traced fault-enabled torus allocates %.2f objects/op, want 0", allocs)
 	}
 	if port.n == 0 {
 		t.Fatal("no messages delivered")

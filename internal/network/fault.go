@@ -3,6 +3,7 @@ package network
 import (
 	"repro/internal/fault"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // CorruptMask is XORed into a message's checksum by an injected
@@ -41,11 +42,17 @@ func (ep *endpoints) passFaults(m *Msg) bool {
 	}
 	if in.Crashed(m.Src) || in.Crashed(m.Dst) {
 		in.NoteCrashDrop()
+		if ep.rec != nil {
+			ep.noteMsg(m.Dst, trace.KDrop, -1, m)
+		}
 		ep.creditDropped(m)
 		return false
 	}
 	pl := in.Plan(m.Src, m.Dst)
 	if pl.Drop {
+		if ep.rec != nil {
+			ep.noteMsg(m.Dst, trace.KDrop, -1, m)
+		}
 		ep.creditDropped(m)
 		return false
 	}

@@ -23,6 +23,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/params"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Msg is one fixed-size network message. Payload semantics belong to
@@ -128,6 +129,11 @@ type Interconnect interface {
 	// never called the fault path is fully disabled and the fabric's
 	// behaviour is bit-identical to a build without the fault layer.
 	AttachFaults(in *fault.Injector)
+	// AttachTrace hooks a lifecycle recorder into the fabric edge.
+	// Same contract as AttachFaults: never called means fully
+	// disabled, bit-identical behaviour; attached, it records and
+	// changes nothing.
+	AttachTrace(rec *trace.Recorder)
 }
 
 var (
@@ -176,6 +182,9 @@ type endpoints struct {
 	// inj is the fault injector, nil when faults are off — the zero-
 	// fault path pays one nil check per arrival and nothing else.
 	inj *fault.Injector
+	// rec is the lifecycle recorder, nil when tracing is off — the
+	// untraced path pays one nil check per hook site and nothing else.
+	rec *trace.Recorder
 	// pauseWake[dst] records that a drain-retry event is already
 	// scheduled for dst's current pause window.
 	pauseWake []bool
@@ -221,6 +230,9 @@ func (ep *endpoints) CanInject(src, dst int) bool {
 // admit blocks p while the window to m.Dst is full, then charges the
 // message against the window and the traffic counters.
 func (ep *endpoints) admit(p *sim.Process, m *Msg) {
+	if ep.rec != nil {
+		ep.noteMsg(m.Src, trace.KInject, -1, m)
+	}
 	if ep.inj != nil {
 		ep.admitFaults(p, m)
 	}
@@ -233,6 +245,9 @@ func (ep *endpoints) admit(p *sim.Process, m *Msg) {
 	ep.msgs.Inc()
 	ep.bytes.Add(uint64(m.Size + params.HeaderBytes))
 	m.SentAt = ep.eng.Now()
+	if ep.rec != nil {
+		ep.noteMsg(m.Src, trace.KAdmit, -1, m)
+	}
 }
 
 // arrive queues m at the destination and attempts delivery.
@@ -258,6 +273,9 @@ func (ep *endpoints) drain(dst int) {
 			return
 		}
 		ep.arrivals[dst].Pop()
+		if ep.rec != nil {
+			ep.noteMsg(dst, trace.KDeliver, -1, m)
+		}
 		if m.Dup {
 			// The original copy already returned this message's window
 			// credit; a duplicate must not return it twice.
@@ -281,6 +299,26 @@ func (ep *endpoints) InFlight(src, dst int) int { return int(ep.inFlight[src*ep.
 // DeliveryLatency exposes the fabric's delivery-latency histogram
 // (also reachable as the "net.delivery" histogram in Stats).
 func (ep *endpoints) DeliveryLatency() *sim.Histogram { return ep.deliveryHist }
+
+// TotalInFlight sums unacked messages over every (src, dst) window —
+// the sliding-window occupancy gauge the trace sampler reads.
+func (ep *endpoints) TotalInFlight() int {
+	total := 0
+	for _, v := range ep.inFlight {
+		total += int(v)
+	}
+	return total
+}
+
+// TotalPending sums undelivered arrivals over every destination — the
+// fabric-edge backlog gauge the trace sampler reads.
+func (ep *endpoints) TotalPending() int {
+	total := 0
+	for i := range ep.arrivals {
+		total += ep.arrivals[i].Len()
+	}
+	return total
+}
 
 // Flat is the paper's fixed-latency network (§4.1): topology is
 // ignored and transit takes a constant latency regardless of load.

@@ -1,9 +1,12 @@
 package network
 
 import (
+	"fmt"
+
 	"repro/internal/fault"
 	"repro/internal/params"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Output-link direction indices at each torus router.
@@ -218,6 +221,9 @@ func (t *Torus) forward(m *Msg, node int) {
 	li := node*numDirs + int(dir)
 	if t.busy(li) {
 		t.linkWaits.Inc()
+		if t.rec != nil {
+			t.noteMsg(node, trace.KLinkWait, int32(li), m)
+		}
 		t.queues[li].Push(m)
 		return
 	}
@@ -231,6 +237,9 @@ func (t *Torus) forward(m *Msg, node int) {
 func (t *Torus) transmit(li int, m *Msg) {
 	t.setBusy(li)
 	t.hops.Inc()
+	if t.rec != nil {
+		t.noteMsg(li/numDirs, trace.KLinkTx, int32(li), m)
+	}
 	if t.inj != nil {
 		t.faultTransmit(li, m)
 		return
@@ -244,6 +253,9 @@ func (t *Torus) transmit(li int, m *Msg) {
 // the next queued message, if any.
 func (t *Torus) release(li int) {
 	t.clearBusy(li)
+	if t.rec != nil {
+		t.rec.Note(li/numDirs, trace.KLinkFree, 0, int32(li), -1, -1, 0, 0)
+	}
 	if t.queues[li].Len() > 0 {
 		t.transmit(li, t.queues[li].Pop())
 	}
@@ -253,6 +265,24 @@ func (t *Torus) release(li int) {
 // downstream router and routes it onward.
 func (t *Torus) linkArrive(li int) {
 	t.forward(t.flight[li].Pop(), int(t.downstream[li]))
+}
+
+// Links returns the output-link count (node count × four directions)
+// — link index li = node*4 + direction.
+func (t *Torus) Links() int { return t.n * numDirs }
+
+// LinkBusy reports whether link li is currently serialising a message
+// (the trace sampler's occupancy gauge).
+func (t *Torus) LinkBusy(li int) bool { return t.busy(li) }
+
+// LinkQueueLen reports how many messages wait behind link li (the
+// trace sampler's queue-depth gauge).
+func (t *Torus) LinkQueueLen(li int) int { return t.queues[li].Len() }
+
+// LinkName renders link li's stable label, e.g. "n3.y+".
+func (t *Torus) LinkName(li int) string {
+	dirs := [numDirs]string{"x+", "x-", "y+", "y-"}
+	return fmt.Sprintf("n%d.%s", li/numDirs, dirs[li%numDirs])
 }
 
 // busy reports / sets / clears link li's bit in the busy bitset.

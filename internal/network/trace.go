@@ -1,0 +1,45 @@
+package network
+
+import (
+	"repro/internal/trace"
+)
+
+// AttachTrace hooks the lifecycle recorder into the shared fabric
+// edge. Both fabrics inherit it. When never called the trace path is
+// fully disabled — the hot path pays one nil check per hook site and
+// the fabric's behaviour is bit-identical to a build without the
+// telemetry layer (the same contract AttachFaults keeps). Recording
+// consumes no simulated time and schedules nothing, so an attached
+// recorder is pure observation: counters, latencies, and delivered
+// counts are unchanged.
+func (ep *endpoints) AttachTrace(rec *trace.Recorder) { ep.rec = rec }
+
+// msgFlags condenses a message's ack/dup markers into record flags.
+func msgFlags(m *Msg) uint8 {
+	var f uint8
+	if m.IsAck {
+		f |= trace.FlagAck
+	}
+	if m.Dup {
+		f |= trace.FlagDup
+	}
+	return f
+}
+
+// traceID returns the record id for m: the user-message id for data
+// frames, the cumulative ack value for transport ack frames (data ids
+// and ack values live in different namespaces; the ack flag keeps the
+// export from conflating them).
+func traceID(m *Msg) uint64 {
+	if m.IsAck {
+		return m.Ack
+	}
+	return m.ID
+}
+
+// noteMsg records one message-scoped lifecycle event on node's ring.
+// Callers gate on ep.rec != nil so the disabled path stays a single
+// branch.
+func (ep *endpoints) noteMsg(node int, k trace.Kind, link int32, m *Msg) {
+	ep.rec.Note(node, k, traceID(m), link, int32(m.Src), int32(m.Dst), uint8(m.Frag), msgFlags(m))
+}

@@ -467,6 +467,62 @@ func (f *Faults) Validate(nodes int) error {
 	return nil
 }
 
+// TraceRingDefault is the per-node record-ring capacity used when
+// Trace.RingSize is left zero. Records are 32 bytes, so the default
+// costs 512 KB per node — big enough that a loadsweep-length run
+// (~100k cycles) keeps every record, small enough to preallocate
+// without thought.
+const TraceRingDefault = 16384
+
+// TraceSampleDefault is the sampling period applied when a consumer
+// asks for "sampling on, default cadence" (cnisim trace / --trace
+// without --sample-every).
+const TraceSampleDefault = 1000
+
+// Trace configures the telemetry subsystem (internal/trace): the
+// message-lifecycle recorder and the sampled time-series. The zero
+// value means "off": no recorder or sampler is built, the hot path
+// pays nothing, and every run is byte-identical to a pre-trace
+// simulator — the same contract Faults keeps.
+type Trace struct {
+	// Enabled turns on message-lifecycle recording: fixed-size records
+	// at inject/admit/link/deliver/ack/retransmit hooks, written into
+	// preallocated per-node rings (internal/trace.Recorder) and
+	// exportable as Chrome trace-event JSON for Perfetto.
+	Enabled bool
+	// RingSize is the per-node record-ring capacity; 0 means
+	// TraceRingDefault. When a ring wraps the oldest records are
+	// overwritten (the export reports how many).
+	RingSize int
+	// SampleEvery, when nonzero, runs the time-series sampler every
+	// SampleEvery cycles: link occupancy, queue depths, window
+	// occupancy, retransmit backlog, and counter deltas, exportable as
+	// columnar JSON/CSV. Sampling alone (Enabled false) still builds
+	// the recorder so hook records and samples export together.
+	SampleEvery uint64
+}
+
+// Active reports whether the telemetry subsystem participates in the
+// run at all. False for the zero value — the byte-identical
+// off-by-default guarantee.
+func (t *Trace) Active() bool { return t.Enabled || t.SampleEvery > 0 }
+
+// Ring returns the effective per-node ring capacity.
+func (t *Trace) Ring() int {
+	if t.RingSize > 0 {
+		return t.RingSize
+	}
+	return TraceRingDefault
+}
+
+// Validate reports trace-spec errors.
+func (t *Trace) Validate() error {
+	if t.RingSize < 0 {
+		return fmt.Errorf("params: trace RingSize must be >= 0, have %d", t.RingSize)
+	}
+	return nil
+}
+
 // TorusDims factors n nodes into the most nearly square W×H torus
 // (W ≤ H, W·H = n). Any n ≥ 1 works; primes degrade to a 1×n ring.
 func TorusDims(n int) (w, h int) {
@@ -731,6 +787,11 @@ type Config struct {
 	// the reliable-delivery transport (internal/fault, internal/msg).
 	// The zero value is off and byte-identical to a pre-fault run.
 	Faults Faults
+
+	// Trace configures the telemetry subsystem (internal/trace):
+	// message-lifecycle recording and the sampled time-series. The
+	// zero value is off and byte-identical to a pre-trace run.
+	Trace Trace
 }
 
 // Validate reports configuration errors, including the paper's
@@ -761,6 +822,9 @@ func (c Config) Validate() error {
 		}
 	}
 	if err := c.Faults.Validate(c.Nodes); err != nil {
+		return err
+	}
+	if err := c.Trace.Validate(); err != nil {
 		return err
 	}
 	return nil
@@ -803,6 +867,9 @@ func (c Config) Name() string {
 	}
 	if c.Faults.Injects() {
 		s += "+faults"
+	}
+	if c.Trace.Active() {
+		s += "+trace"
 	}
 	return s
 }

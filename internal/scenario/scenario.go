@@ -38,7 +38,11 @@ func Build(cfg params.Config) (*Machine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	capture := applyDefaultTrace(&cfg)
 	sm := &Machine{m: machine.New(cfg)}
+	if capture {
+		captureTrace(sm)
+	}
 	for _, n := range sm.m.Nodes {
 		ep := &Endpoint{m: sm, node: n}
 		// The inbox handler backs Endpoint.Recv; registration is free

@@ -1,0 +1,101 @@
+package scenario
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"repro/internal/params"
+	"repro/internal/trace"
+)
+
+// Telemetry accessors. The run-result type of this package is already
+// named Trace (a scenario's typed outcome), so the telemetry
+// subsystem's handles keep their internal/trace names here:
+// TraceRecorder and TraceSampler.
+
+// TraceRecorder returns the machine's lifecycle recorder, nil when
+// Config.Trace is inactive.
+func (m *Machine) TraceRecorder() *trace.Recorder { return m.m.Rec }
+
+// TraceSampler returns the machine's time-series sampler, nil unless
+// Config.Trace.SampleEvery is set.
+func (m *Machine) TraceSampler() *trace.Sampler { return m.m.Smp }
+
+// WriteTrace exports the machine's recorded telemetry as Chrome
+// trace-event JSON (Perfetto-loadable). Errors when tracing was never
+// configured.
+func (m *Machine) WriteTrace(w io.Writer) (trace.Summary, error) {
+	if m.m.Rec == nil {
+		return trace.Summary{}, fmt.Errorf("scenario: machine built without tracing (set Config.Trace)")
+	}
+	return trace.WriteChrome(w, trace.Capture{Label: m.m.Cfg.Name(), Rec: m.m.Rec, Smp: m.m.Smp})
+}
+
+// The default-trace collector backs cnisim's global --trace flag: any
+// machine Built while a default spec is set gets that spec (unless
+// its config already carries one) and its telemetry handles are
+// collected for a merged export when the command finishes. Guarded by
+// a mutex because the experiment harness Builds machines from
+// parallel worker goroutines.
+var defTrace struct {
+	sync.Mutex
+	spec params.Trace
+	caps []trace.Capture
+	seq  int
+}
+
+// SetDefaultTrace installs spec as the default trace configuration
+// for subsequently Built machines (a zero spec turns collection off).
+func SetDefaultTrace(spec params.Trace) {
+	defTrace.Lock()
+	defer defTrace.Unlock()
+	defTrace.spec = spec
+	defTrace.caps = nil
+	defTrace.seq = 0
+}
+
+// DrainCaptures returns every capture collected since the last
+// SetDefaultTrace/DrainCaptures, sorted by label — a deterministic
+// merge order regardless of which worker goroutine Built which
+// machine.
+func DrainCaptures() []trace.Capture {
+	defTrace.Lock()
+	defer defTrace.Unlock()
+	caps := defTrace.caps
+	defTrace.caps = nil
+	sort.SliceStable(caps, func(i, j int) bool { return caps[i].Label < caps[j].Label })
+	return caps
+}
+
+// applyDefaultTrace injects the default spec into cfg (when cfg has
+// none of its own) and reports whether this Build should be captured.
+func applyDefaultTrace(cfg *params.Config) bool {
+	defTrace.Lock()
+	defer defTrace.Unlock()
+	if !defTrace.spec.Active() {
+		return false
+	}
+	if !cfg.Trace.Active() {
+		cfg.Trace = defTrace.spec
+	}
+	return true
+}
+
+// captureTrace registers a Built machine's telemetry for the merged
+// export, labelled by config name plus a collection sequence number
+// (configs repeat across sweep cells; labels must not).
+func captureTrace(m *Machine) {
+	defTrace.Lock()
+	defer defTrace.Unlock()
+	defTrace.caps = append(defTrace.caps,
+		trace.Capture{Label: fmt.Sprintf("%s#%d", m.m.Cfg.Name(), defTrace.seq), Rec: m.m.Rec, Smp: m.m.Smp})
+	defTrace.seq++
+}
+
+// WriteCaptures exports a capture set as one merged Chrome
+// trace-event JSON document.
+func WriteCaptures(w io.Writer, caps []trace.Capture) (trace.Summary, error) {
+	return trace.WriteChrome(w, caps...)
+}
