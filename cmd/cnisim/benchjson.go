@@ -55,6 +55,17 @@ type benchReport struct {
 	LoadsweepFlatKneeMBps  float64 `json:"loadsweep_flat_knee_cni512q_mbps"`
 	LoadsweepTorusKneeMBps float64 `json:"loadsweep_torus_knee_cni512q_mbps"`
 
+	// The datacenter-pack canaries pin the dcn subsystem. The rpc knee
+	// is p99.9 at the top of the fan-out ladder (k=8) on the sweep's
+	// headline cell (CNI512Q, flat, sweep windows and population): the
+	// tail-at-scale number the rpc table leads with. The ring-allreduce
+	// completions pin the collective scheduler per fabric; --check also
+	// enforces flat < torus (the torus serialises the ring's neighbour
+	// hops over shared links).
+	RPCP999K8CNI512QUs       float64 `json:"rpc_p999_k8_cni512q_us"`
+	RingAllreduceFlatCycles  uint64  `json:"ring_allreduce_flat_cni512q_cycles"`
+	RingAllreduceTorusCycles uint64  `json:"ring_allreduce_torus_cni512q_cycles"`
+
 	// TraceOverheadPct is the wall-clock cost of full telemetry
 	// (lifecycle recorder + sampler at the default period) on the same
 	// torus loadsweep point, in percent over the untraced run. The
@@ -157,6 +168,27 @@ func canaries(r *benchReport) {
 	r.LoadsweepTorusKneeMBps = rows[1].KneeOfferedMBps
 	r.TorusLoadsweepEventsPerSec, r.TorusLoadsweepDeliveredMsgs = torusLoadsweepThroughput(cni.TraceSpec{})
 	r.TorusLoadsweepPreSoAPerSec = preSoAEventsPerSec
+
+	// Datacenter pack: the rpc sweep's headline tail point and the
+	// ring-allreduce completion per fabric. Specs are constructed, not
+	// user input, so a run error is a bug.
+	rpcFlat := cni.Config{Nodes: 16, NI: cni.CNI512Q, Bus: cni.MemoryBus}
+	rpcRep, err := cni.RunRPC(rpcFlat, cni.RPCSpecFor(cni.RPCOptions{}, 8, cni.RPCSweepThink),
+		cni.RPCSweepWarm, cni.RPCSweepMeasure)
+	if err != nil {
+		panic(err)
+	}
+	r.RPCP999K8CNI512QUs = cni.Microseconds(rpcRep.Latency.Quantile(0.999))
+	ringCycles := func(topo cni.Topology) uint64 {
+		cfg := cni.Config{Nodes: 16, NI: cni.CNI512Q, Bus: cni.MemoryBus, Topology: topo}
+		rep, err := cni.RunCollective(cfg, cni.DefaultCollectiveSpec())
+		if err != nil {
+			panic(err)
+		}
+		return uint64(rep.CompletionCycles)
+	}
+	r.RingAllreduceFlatCycles = ringCycles(cni.TopoFlat)
+	r.RingAllreduceTorusCycles = ringCycles(cni.TopoTorus)
 }
 
 // checkCanaries regenerates the simulated canaries and diffs them
@@ -197,6 +229,22 @@ func checkCanaries(path string) error {
 	if fresh.TorusLoadsweepDeliveredMsgs != committed.TorusLoadsweepDeliveredMsgs {
 		drift = append(drift, fmt.Sprintf("torus_loadsweep_delivered_msgs: committed %d, fresh %d",
 			committed.TorusLoadsweepDeliveredMsgs, fresh.TorusLoadsweepDeliveredMsgs))
+	}
+	if fresh.RPCP999K8CNI512QUs != committed.RPCP999K8CNI512QUs {
+		drift = append(drift, fmt.Sprintf("rpc_p999_k8_cni512q_us: committed %v, fresh %v",
+			committed.RPCP999K8CNI512QUs, fresh.RPCP999K8CNI512QUs))
+	}
+	if fresh.RingAllreduceFlatCycles != committed.RingAllreduceFlatCycles {
+		drift = append(drift, fmt.Sprintf("ring_allreduce_flat_cni512q_cycles: committed %d, fresh %d",
+			committed.RingAllreduceFlatCycles, fresh.RingAllreduceFlatCycles))
+	}
+	if fresh.RingAllreduceTorusCycles != committed.RingAllreduceTorusCycles {
+		drift = append(drift, fmt.Sprintf("ring_allreduce_torus_cni512q_cycles: committed %d, fresh %d",
+			committed.RingAllreduceTorusCycles, fresh.RingAllreduceTorusCycles))
+	}
+	if fresh.RingAllreduceFlatCycles >= fresh.RingAllreduceTorusCycles {
+		drift = append(drift, fmt.Sprintf("ring-allreduce inversion: flat %d cycles must complete strictly before torus %d (neighbour hops serialise on shared torus links)",
+			fresh.RingAllreduceFlatCycles, fresh.RingAllreduceTorusCycles))
 	}
 	if committed.TorusLoadsweepEventsPerSec <= 0 {
 		drift = append(drift, "torus_loadsweep_events_per_sec: committed snapshot carries no throughput; regenerate with `cnisim benchjson`")

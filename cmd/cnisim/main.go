@@ -107,13 +107,21 @@ commands:
                     --load=MB/s per node measures one point instead)
   faultsweep        goodput/tail latency vs injected drop rate under the
                     reliable transport (--drop --degrade --seed --ni --topology)
+  rpc               datacenter RPC fan-out tail-at-scale sweep with aggregated
+                    million-client populations (--clients --client-zipf --hedge
+                    --hedge-after --ni --topology --seed; --fanout=k measures one
+                    point instead, optionally with the --incast-chunk=B storage preset)
+  collective        collective-schedule sweep: completion time and per-step skew
+                    (--bytes --ni --topology; --schedule=ring-allreduce|rd-allreduce|
+                    alltoall|broadcast runs one schedule with per-step detail)
   latency           one 2-node round-trip measurement (--ni --bus --size --topology)
   bandwidth         one 2-node bandwidth measurement (--ni --bus --size --topology)
   incast            hotspot incast: all nodes stream to node 0 (--ni --bus --nodes --size --count --topology)
   exchange          personalised all-to-all (--ni --bus --nodes --size --rounds --topology)
   bench             one macrobenchmark run (--app --ni --bus --nodes --topology)
   benchjson         write headline perf metrics to BENCH_sim.json (--out; --check diffs canaries)
-  trace             run one target (loadsweep, latency, bandwidth, incast, exchange)
+  trace             run one target (loadsweep, rpc, collective, latency,
+                    bandwidth, incast, exchange)
                     with full telemetry and write its Perfetto-loadable timeline
                     (--out --sample-every --ni --bus --topology --size --nodes)
   all               every experiment in sequence
@@ -130,7 +138,7 @@ flags:
   --sample-every=N                with --trace: sample link/queue/window occupancy
                                   and counter rates every N simulated cycles
   --progress                      heartbeat sweep progress to stderr (loadsweep,
-                                  faultsweep)
+                                  faultsweep, rpc, collective)
   --cpuprofile=path               write a pprof CPU profile of the run (any command)
   --memprofile=path               write a pprof heap profile at exit (any command)`
 
@@ -169,6 +177,10 @@ func run(cmd string, args []string) error {
 		return runLoadSweep(args)
 	case "faultsweep":
 		return runFaultSweep(args)
+	case "rpc":
+		return runRPC(args)
+	case "collective":
+		return runCollective(args)
 	case "bench":
 		return runBench(args)
 	case "benchjson":

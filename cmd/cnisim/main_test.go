@@ -277,6 +277,20 @@ func TestFlagTyposFailWithValidValues(t *testing.T) {
 		{"faultsweep", []string{"--drop=-0.2"}, []string{"-0.2", "[0, 1)"}},
 		{"faultsweep", []string{"--degrade=0.5"}, []string{"0.5", ">= 1"}},
 		{"faultsweep", []string{"--drop=2", "--json=-", "--csv=-"}, []string{"stdout"}},
+		// RPC/collective parameters must name the constraint too.
+		{"rpc", []string{"--fanout=0"}, []string{">= 1", "0"}},
+		{"rpc", []string{"--fanout=-3"}, []string{">= 1", "-3"}},
+		{"rpc", []string{"--hedge=1.5"}, []string{"1.5", "[0, 1)"}},
+		{"rpc", []string{"--hedge=-0.1"}, []string{"-0.1", "[0, 1)"}},
+		{"rpc", []string{"--ni=CNI1024Q"}, []string{"CNI1024Q", "NI2w", "CNI512Q", "DMA"}},
+		{"rpc", []string{"--topology=mesh"}, []string{"mesh", "flat", "torus"}},
+		// The incast preset shapes a single point; without --fanout it
+		// would silently be ignored.
+		{"rpc", []string{"--incast-chunk=4096"}, []string{"--fanout"}},
+		{"collective", []string{"--schedule=rign"}, []string{"rign", "ring-allreduce", "rd-allreduce", "alltoall", "broadcast"}},
+		{"collective", []string{"--ni=CNI1024Q"}, []string{"CNI1024Q", "NI2w", "CNI512Q", "DMA"}},
+		{"collective", []string{"--topology=mesh"}, []string{"mesh", "flat", "torus"}},
+		{"collective", []string{"--bytes=-1"}, []string{"-1", ">= 1"}},
 	}
 	for _, c := range cases {
 		err := run(c.cmd, c.args)
@@ -325,12 +339,86 @@ func TestListMatchesExperimentNames(t *testing.T) {
 		"fig6": true, "fig7": true, "fig8": true,
 		"occupancy": true, "ablation": true, "sweep": true, "dma": true,
 		"congestion": true, "loadsweep": true, "faultsweep": true,
+		"rpc": true, "collective": true,
 	}
 	for _, name := range cni.ExperimentNames() {
 		base, _, _ := strings.Cut(name, "-")
 		if !known[base] {
 			t.Errorf("experiment %q has no CLI command family", name)
 		}
+	}
+}
+
+// TestRunRPCPoint runs one single-point rpc measurement end to end
+// through the CLI with the uniform JSON export.
+func TestRunRPCPoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy in -short mode")
+	}
+	jsonPath := filepath.Join(t.TempDir(), "rpc.json")
+	err := run("rpc", []string{
+		"--fanout=2", "--clients=1000", "--think=200000", "--hedge=0.1",
+		"--ni=CNI512Q", "--topology=flat", "--json=" + jsonPath})
+	if err != nil {
+		t.Fatalf("rpc point: %v", err)
+	}
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d cni.Data
+	if err := json.Unmarshal(raw, &d); err != nil {
+		t.Fatalf("exported JSON does not parse: %v", err)
+	}
+	if d.Name != "rpc-point" || len(d.Rows) != 1 {
+		t.Fatalf("exported Data = name %q, %d rows", d.Name, len(d.Rows))
+	}
+	row := d.Rows[0]
+	if row[0] != "CNI512Q" || row[1] != "flat" || row[2] != "2" {
+		t.Fatalf("point row = %v", row)
+	}
+	if row[9] == "0" { // completed
+		t.Error("point run completed no calls")
+	}
+	// The storage incast preset rides the same single-point path.
+	if err := run("rpc", []string{"--fanout=4", "--clients=1000", "--think=200000", "--incast-chunk=4096"}); err != nil {
+		t.Errorf("rpc incast preset: %v", err)
+	}
+}
+
+// TestRunCollectiveSchedule runs one schedule end to end through the
+// CLI: per-step rows in the export, completion in Extra.
+func TestRunCollectiveSchedule(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy in -short mode")
+	}
+	jsonPath := filepath.Join(t.TempDir(), "coll.json")
+	err := run("collective", []string{
+		"--schedule=ring-allreduce", "--bytes=4096", "--ni=CNI512Q", "--json=" + jsonPath})
+	if err != nil {
+		t.Fatalf("collective run: %v", err)
+	}
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d struct {
+		cni.Data
+		Extra cni.CollectiveReport `json:"extra"`
+	}
+	if err := json.Unmarshal(raw, &d); err != nil {
+		t.Fatalf("exported JSON does not parse: %v", err)
+	}
+	// Ring allreduce on 16 nodes = 2(N-1) = 30 steps.
+	if d.Name != "collective-run" || len(d.Rows) != 30 {
+		t.Fatalf("exported Data = name %q, %d rows", d.Name, len(d.Rows))
+	}
+	if d.Extra.CompletionCycles == 0 || d.Extra.MovedBytes == 0 {
+		t.Fatalf("report = %+v", d.Extra)
+	}
+	// A schedule typo must not reach the simulator.
+	if err := run("collective", []string{"--schedule=ring"}); err == nil {
+		t.Error("collective --schedule=ring (typo) should error")
 	}
 }
 

@@ -1,0 +1,259 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	cni "repro"
+	"repro/internal/harness"
+)
+
+// flagWasSet reports whether the user passed the named flag
+// explicitly (as opposed to its default applying).
+func flagWasSet(fs *flag.FlagSet, name string) bool {
+	set := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}
+
+// runRPC drives the datacenter RPC fan-out subsystem: by default the
+// full fan-out-ladder + overload sweep per NI × topology; with
+// --fanout, one measured point on one machine.
+func runRPC(args []string) error {
+	fs := flag.NewFlagSet("rpc", flag.ExitOnError)
+	fanout := fs.Int("fanout", 0, "measure one point at this root fan-out (>= 1) instead of sweeping the ladder")
+	clients := fs.Int("clients", 0, "simulated client population machine-wide (default 1000000)")
+	think := fs.Int("think", 0, "mean client think cycles (default the sweep's moderate load)")
+	clientZipf := fs.Float64("client-zipf", 0, "Zipf skew of per-client request weights (0 = uniform)")
+	hedge := fs.Float64("hedge", 0, "hedge-eligible fraction of root calls, in [0, 1)")
+	hedgeAfter := fs.Int("hedge-after", 0, "hedge trigger delay in cycles (default 20000)")
+	chunk := fs.Int("incast-chunk", 0, "with --fanout: the storage incast preset, bulk replies of this many bytes")
+	ni := fs.String("ni", "", "restrict to one NI design (default: the four taxonomy corners; single point: CNI512Q)")
+	topology := fs.String("topology", "", "restrict to one fabric (default: flat and torus; single point: flat)")
+	seed := fs.Uint64("seed", 0, "arrival/backend/service seed (0 = default)")
+	jsonOut, csvOut := exportFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	// Flag conflicts and invalid parameters fail before any simulation.
+	if err := validateExport(*jsonOut, *csvOut); err != nil {
+		return err
+	}
+	if flagWasSet(fs, "fanout") && *fanout < 1 {
+		return fmt.Errorf("rpc: --fanout must be >= 1, have %d", *fanout)
+	}
+	if *hedge < 0 || *hedge >= 1 {
+		return fmt.Errorf("rpc: --hedge must be in [0, 1), have %v", *hedge)
+	}
+	if *clients < 0 {
+		return fmt.Errorf("rpc: --clients must be >= 1, have %d", *clients)
+	}
+	if *think < 0 || *hedgeAfter < 0 || *chunk < 0 {
+		return fmt.Errorf("rpc: --think, --hedge-after, and --incast-chunk must be positive")
+	}
+	if *chunk > 0 && *fanout == 0 {
+		return fmt.Errorf("rpc: --incast-chunk is a single-point preset; it needs --fanout")
+	}
+	opt := cni.RPCOptions{
+		Clients:          *clients,
+		ClientZipfS:      *clientZipf,
+		Hedge:            *hedge,
+		HedgeAfterCycles: *hedgeAfter,
+		Seed:             *seed,
+	}
+	if *ni != "" {
+		kind, err := parseNI(*ni)
+		if err != nil {
+			return err
+		}
+		opt.NIs = []cni.NIKind{kind}
+	}
+	if *topology != "" {
+		topo, err := cni.ParseTopology(*topology)
+		if err != nil {
+			return err
+		}
+		opt.Topos = []cni.Topology{topo}
+	}
+	// Validate the composed spec up front (client-zipf range, ...): a
+	// bad parameter must fail here, not minutes into a sweep.
+	probeFanout := cni.RPCSweepFanouts[len(cni.RPCSweepFanouts)-1]
+	if *fanout > 0 {
+		probeFanout = *fanout
+	}
+	if err := cni.RPCSpecFor(opt, probeFanout, cni.RPCSweepThink).Validate(); err != nil {
+		return err
+	}
+	if *fanout > 0 {
+		return runRPCPoint(opt, *fanout, *think, *chunk, *jsonOut, *csvOut)
+	}
+	pm := startProgress("rpc")
+	if pm != nil {
+		opt.Progress = func(cell string, k int) {
+			if k < 0 {
+				pm.note(cell, fmt.Sprintf("overload @ k=%d", -k))
+			} else {
+				pm.note(cell, fmt.Sprintf("@ k=%d", k))
+			}
+		}
+	}
+	t, rows := cni.RPCSweep(opt)
+	pm.finish()
+	printTable(t, *jsonOut, *csvOut)
+	return export(harness.RPCData(t, rows), *jsonOut, *csvOut)
+}
+
+// runRPCPoint measures one RPC point on one machine, using the
+// sweep's windows so the numbers line up with sweep cells.
+func runRPCPoint(opt cni.RPCOptions, fanout, think, chunk int, jsonOut, csvOut string) error {
+	kind := cni.CNI512Q
+	if len(opt.NIs) == 1 {
+		kind = opt.NIs[0]
+	}
+	topo := cni.TopoFlat
+	if len(opt.Topos) == 1 {
+		topo = opt.Topos[0]
+	}
+	if think == 0 {
+		think = cni.RPCSweepThink
+	}
+	spec := cni.RPCSpecFor(opt, fanout, think)
+	if chunk > 0 {
+		spec.Tiers = cni.IncastSpec(fanout, chunk).Tiers
+		spec.Tiers[0].Fanout = fanout
+	}
+	cfg := cni.Config{Nodes: harness.SweepNodes, NI: kind, Bus: cni.MemoryBus, Topology: topo}
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	rep, err := cni.RunRPC(cfg, spec, cni.RPCSweepWarm, cni.RPCSweepMeasure)
+	if err != nil {
+		return err
+	}
+	us := func(q float64) float64 { return cni.Microseconds(rep.Latency.Quantile(q)) }
+	if jsonOut != "-" && csvOut != "-" {
+		fmt.Printf("%s rpc fan-out k=%d, %d clients, think %d cycles, %d nodes\n",
+			cfg.Name(), fanout, spec.Clients, spec.ThinkCycles, cfg.Nodes)
+		fmt.Printf("offered %.1f KRPS  goodput %.1f KRPS  issued %d  completed %d  queued %d\n",
+			rep.OfferedKRPS, rep.GoodputKRPS, rep.Issued, rep.Completed, rep.Queued)
+		fmt.Printf("latency (us): p50 %.1f  p99 %.1f  p99.9 %.1f  max %.1f  (n=%d)\n",
+			us(0.50), us(0.99), us(0.999), cni.Microseconds(rep.Latency.Max()), rep.Latency.Count())
+		fmt.Printf("straggler join gap (us): p50 %.1f  p99 %.1f  hedges %d  hedge wins %d\n",
+			cni.Microseconds(rep.Straggler.Quantile(0.50)),
+			cni.Microseconds(rep.Straggler.Quantile(0.99)), rep.Hedges, rep.HedgeWins)
+	}
+	d := &cni.Data{
+		Name:  "rpc-point",
+		Title: fmt.Sprintf("%s rpc fan-out k=%d", cfg.Name(), fanout),
+		Header: []string{"ni", "topology", "fanout", "offered_krps", "goodput_krps",
+			"p50_us", "p99_us", "p999_us", "strag_p99_us", "completed", "queued", "hedges", "hedge_wins"},
+		Rows: [][]string{{
+			kind.String(), topo.String(), fmt.Sprintf("%d", fanout),
+			fmt.Sprintf("%.1f", rep.OfferedKRPS), fmt.Sprintf("%.1f", rep.GoodputKRPS),
+			fmt.Sprintf("%.1f", us(0.50)), fmt.Sprintf("%.1f", us(0.99)), fmt.Sprintf("%.1f", us(0.999)),
+			fmt.Sprintf("%.1f", cni.Microseconds(rep.Straggler.Quantile(0.99))),
+			fmt.Sprintf("%d", rep.Completed), fmt.Sprintf("%d", rep.Queued),
+			fmt.Sprintf("%d", rep.Hedges), fmt.Sprintf("%d", rep.HedgeWins),
+		}},
+	}
+	return export(d, jsonOut, csvOut)
+}
+
+// runCollective drives the collective-schedule subsystem: by default
+// the full schedule grid per NI × topology; with --schedule, one run
+// on one machine with per-step detail.
+func runCollective(args []string) error {
+	fs := flag.NewFlagSet("collective", flag.ExitOnError)
+	schedule := fs.String("schedule", "", "run one schedule (ring-allreduce, rd-allreduce, alltoall, broadcast) instead of sweeping")
+	bytes := fs.Int("bytes", 0, "per-node contribution in bytes (default 65536)")
+	ni := fs.String("ni", "", "restrict to one NI design (single run: CNI512Q)")
+	topology := fs.String("topology", "", "restrict to one fabric (single run: flat)")
+	jsonOut, csvOut := exportFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := validateExport(*jsonOut, *csvOut); err != nil {
+		return err
+	}
+	if *bytes < 0 {
+		return fmt.Errorf("collective: --bytes must be >= 1, have %d", *bytes)
+	}
+	opt := cni.CollectiveOptions{Bytes: *bytes}
+	if *ni != "" {
+		kind, err := parseNI(*ni)
+		if err != nil {
+			return err
+		}
+		opt.NIs = []cni.NIKind{kind}
+	}
+	if *topology != "" {
+		topo, err := cni.ParseTopology(*topology)
+		if err != nil {
+			return err
+		}
+		opt.Topos = []cni.Topology{topo}
+	}
+	if *schedule != "" {
+		sch, err := cni.ParseSchedule(*schedule)
+		if err != nil {
+			return err
+		}
+		return runCollectiveRun(opt, sch, *jsonOut, *csvOut)
+	}
+	pm := startProgress("collective")
+	if pm != nil {
+		opt.Progress = func(cell, schedule string) { pm.note(cell, schedule) }
+	}
+	t, rows := cni.CollectiveSweep(opt)
+	pm.finish()
+	printTable(t, *jsonOut, *csvOut)
+	return export(harness.CollectiveData(t, rows), *jsonOut, *csvOut)
+}
+
+// runCollectiveRun executes one schedule on one machine and reports
+// per-step completion spread.
+func runCollectiveRun(opt cni.CollectiveOptions, sch cni.Schedule, jsonOut, csvOut string) error {
+	kind := cni.CNI512Q
+	if len(opt.NIs) == 1 {
+		kind = opt.NIs[0]
+	}
+	topo := cni.TopoFlat
+	if len(opt.Topos) == 1 {
+		topo = opt.Topos[0]
+	}
+	bytes := opt.Bytes
+	if bytes <= 0 {
+		bytes = cni.CollectiveBytes
+	}
+	cfg := cni.Config{Nodes: harness.SweepNodes, NI: kind, Bus: cni.MemoryBus, Topology: topo}
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	rep, err := cni.RunCollective(cfg, cni.CollectiveSpec{Schedule: sch, Bytes: bytes})
+	if err != nil {
+		return err
+	}
+	if jsonOut != "-" && csvOut != "-" {
+		fmt.Printf("%s %s, %d B per node, %d nodes\n", cfg.Name(), sch, rep.Bytes, rep.Nodes)
+		fmt.Printf("completion %.1f us (%d cycles), %d steps, max per-step skew %d cycles\n",
+			rep.CompletionMicros, rep.CompletionCycles, rep.Steps, rep.MaxSkew)
+		fmt.Printf("traffic: %d messages, %d bytes moved\n", rep.Msgs, rep.MovedBytes)
+	}
+	d := &cni.Data{
+		Name:   "collective-run",
+		Title:  fmt.Sprintf("%s %s per-step completion", cfg.Name(), sch),
+		Header: []string{"step", "min_end", "max_end", "skew_cycles"},
+		Extra:  rep,
+	}
+	for _, st := range rep.PerStep {
+		d.Rows = append(d.Rows, []string{
+			fmt.Sprintf("%d", st.Step), fmt.Sprintf("%d", st.MinEnd),
+			fmt.Sprintf("%d", st.MaxEnd), fmt.Sprintf("%d", st.Skew),
+		})
+	}
+	return export(d, jsonOut, csvOut)
+}

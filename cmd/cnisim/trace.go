@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	cni "repro"
+	"repro/internal/dcn"
 	"repro/internal/scenario"
 	"repro/internal/trace"
 )
@@ -127,7 +128,7 @@ func writeTraceFile(path string, caps []trace.Capture) error {
 // spans cross-check against the pinned delivered-message count.
 func runTrace(tf traceFlags, args []string) error {
 	if len(args) < 1 || strings.HasPrefix(args[0], "-") {
-		return fmt.Errorf("trace: need a target (loadsweep, latency, bandwidth, incast, or exchange)")
+		return fmt.Errorf("trace: need a target (loadsweep, rpc, collective, latency, bandwidth, incast, or exchange)")
 	}
 	target, args := args[0], args[1:]
 	fs := flag.NewFlagSet("trace", flag.ExitOnError)
@@ -175,6 +176,46 @@ func runTrace(tf traceFlags, args []string) error {
 		rep := cni.MeasureLoad(cfg, cni.LoadsweepBenchWarm, cni.LoadsweepBenchMeasure)
 		fmt.Printf("%s saturation-knee point: offered %.1f MB/s, goodput %.1f MB/s, delivered %d\n",
 			cfg.Name(), rep.OfferedMBps, rep.GoodputMBps, rep.Delivered)
+	case "rpc":
+		// A scaled-down fan-out point: enough calls to populate the
+		// timeline without overflowing the trace ring. Built explicitly
+		// so the recorder stays inspectable for the per-hop breakdown.
+		spec := cni.DefaultRPCSpec()
+		spec.Clients = 1000
+		spec.ThinkCycles = 200_000
+		if err := cfg.Validate(); err != nil {
+			return err
+		}
+		m, err := scenario.Build(cfg)
+		if err != nil {
+			return err
+		}
+		defer m.Close()
+		rep, err := dcn.RunRPCOn(m, spec, 10_000, 200_000)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s rpc k=%d: goodput %.1f KRPS, p99.9 %.1f us, %d completed\n",
+			cfg.Name(), spec.Tiers[0].Fanout, rep.GoodputKRPS,
+			cni.Microseconds(rep.Latency.Quantile(0.999)), rep.Completed)
+		if rec := m.TraceRecorder(); rec != nil {
+			b := rec.ComputeBreakdown()
+			fmt.Printf("per-hop breakdown (us): NI stall p50 %.2f p99 %.2f | fabric p50 %.2f p99 %.2f | dispatch p50 %.2f p99 %.2f (%d frags, %d msgs)\n",
+				cni.Microseconds(b.Stall.Quantile(0.50)), cni.Microseconds(b.Stall.Quantile(0.99)),
+				cni.Microseconds(b.Fabric.Quantile(0.50)), cni.Microseconds(b.Fabric.Quantile(0.99)),
+				cni.Microseconds(b.Dispatch.Quantile(0.50)), cni.Microseconds(b.Dispatch.Quantile(0.99)),
+				b.Frags, b.Msgs)
+		}
+	case "collective":
+		if err := cfg.Validate(); err != nil {
+			return err
+		}
+		rep, err := cni.RunCollective(cfg, cni.DefaultCollectiveSpec())
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s %s: %.1f us over %d steps, max skew %d cycles\n",
+			cfg.Name(), rep.Schedule, rep.CompletionMicros, rep.Steps, rep.MaxSkew)
 	case "latency":
 		rtt := cni.RoundTrip(cfg, *size, 4)
 		fmt.Printf("%s %dB round-trip: %d cycles (%.2f us)\n",
@@ -189,7 +230,7 @@ func runTrace(tf traceFlags, args []string) error {
 		cyc := cni.AllToAllExchange(cfg, *size, 3)
 		fmt.Printf("%s %d-node all-to-all: %d cycles/round\n", cfg.Name(), cfg.Nodes, cyc)
 	default:
-		return fmt.Errorf("trace: unknown target %q (valid: loadsweep, latency, bandwidth, incast, exchange)", target)
+		return fmt.Errorf("trace: unknown target %q (valid: loadsweep, rpc, collective, latency, bandwidth, incast, exchange)", target)
 	}
 	return writeTraceFile(path, scenario.DrainCaptures())
 }

@@ -1,0 +1,270 @@
+package dcn
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/params"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+)
+
+// CollectiveSpec configures one collective run.
+type CollectiveSpec struct {
+	// Schedule picks the algorithm.
+	Schedule Schedule
+	// Bytes is each node's contribution: the vector length for the
+	// allreduces and broadcast, the total per-node exchange volume for
+	// alltoall. Chunked schedules move Bytes/n per step (floored at
+	// one byte).
+	Bytes int
+}
+
+// DefaultCollectiveSpec is a 64KiB-per-node ring allreduce.
+func DefaultCollectiveSpec() CollectiveSpec {
+	return CollectiveSpec{Schedule: RingAllreduce, Bytes: 64 * 1024}
+}
+
+// Validate rejects malformed specs (the machine-dependent
+// power-of-two check happens in RunCollective, which knows n).
+func (s CollectiveSpec) Validate() error {
+	if _, err := ParseSchedule(string(s.Schedule)); err != nil {
+		return err
+	}
+	if s.Bytes < 1 {
+		return fmt.Errorf("dcn: collective Bytes must be >= 1, have %d", s.Bytes)
+	}
+	return nil
+}
+
+// StepStat is one schedule step's completion spread across the
+// participating nodes.
+type StepStat struct {
+	// Step indexes the schedule step.
+	Step int
+	// MinEnd and MaxEnd bracket when participants finished the step.
+	MinEnd, MaxEnd sim.Time
+	// Skew is MaxEnd - MinEnd: how far the slowest participant
+	// straggled behind the fastest.
+	Skew sim.Time
+}
+
+// CollectiveReport is one collective run's result.
+type CollectiveReport struct {
+	// Schedule, Nodes, and Bytes echo the configuration.
+	Schedule Schedule
+	Nodes    int
+	Bytes    int
+	// Steps is the schedule length.
+	Steps int
+	// CompletionCycles is start to the last node's finish.
+	CompletionCycles sim.Time
+	// CompletionMicros converts CompletionCycles at params.CPUMHz.
+	CompletionMicros float64
+	// PerStep is the per-step completion spread; MaxSkew is the
+	// largest per-step skew (the schedule's straggler exposure).
+	PerStep []StepStat
+	MaxSkew sim.Time
+	// Msgs and MovedBytes count the schedule's traffic (from the
+	// coll.* counters).
+	Msgs, MovedBytes uint64
+}
+
+// collRun is one collective's shared state.
+type collRun struct {
+	m     *scenario.Machine
+	n     int
+	steps int
+	// stepEnd[node][step] is when node finished the step; done[node][step]
+	// marks participation (broadcast nodes idle in early rounds).
+	stepEnd [][]sim.Time
+	done    [][]bool
+	recvd   []int
+
+	cMsgs  *sim.Counter
+	cBytes *sim.Counter
+	cSteps *sim.Counter
+}
+
+// mark records node finishing step now.
+func (r *collRun) mark(node, step int, now sim.Time) {
+	r.stepEnd[node][step] = now
+	r.done[node][step] = true
+	r.cSteps.Inc()
+}
+
+// waitRecv polls node until it has received at least need messages.
+func (r *collRun) waitRecv(ep *scenario.Endpoint, node, need int) {
+	ep.PollUntil(func() bool { return r.recvd[node] >= need })
+}
+
+// RunCollective executes one collective schedule on cfg's machine and
+// reports its completion time and per-step skew. The schedule runs
+// once from a quiet machine, so the report is a clean algorithmic
+// fingerprint of the NI + fabric combination; coll.* counters record
+// the traffic volume.
+func RunCollective(cfg params.Config, spec CollectiveSpec) (CollectiveReport, error) {
+	m, err := scenario.Build(cfg)
+	if err != nil {
+		return CollectiveReport{}, err
+	}
+	defer m.Close()
+	return RunCollectiveOn(m, spec)
+}
+
+// RunCollectiveOn is RunCollective on a caller-built (fresh) machine;
+// the caller keeps ownership, so trace recorders and counters stay
+// inspectable after the run, and Close is the caller's job.
+func RunCollectiveOn(m *scenario.Machine, spec CollectiveSpec) (CollectiveReport, error) {
+	if err := spec.Validate(); err != nil {
+		return CollectiveReport{}, err
+	}
+	n := m.Nodes()
+	pow2 := n&(n-1) == 0
+	if spec.Schedule == RDAllreduce && !pow2 {
+		return CollectiveReport{}, fmt.Errorf("dcn: %s requires a power-of-two node count, have %d", RDAllreduce, n)
+	}
+	r := &collRun{
+		m:      m,
+		n:      n,
+		recvd:  make([]int, n),
+		cMsgs:  m.Stats().Counter("coll.msgs"),
+		cBytes: m.Stats().Counter("coll.bytes"),
+		cSteps: m.Stats().Counter("coll.steps"),
+	}
+	switch spec.Schedule {
+	case RingAllreduce:
+		r.steps = 2 * (n - 1)
+	case RDAllreduce:
+		r.steps = bits.Len(uint(n - 1))
+	case Alltoall:
+		r.steps = n - 1
+	case Broadcast:
+		r.steps = bits.Len(uint(n - 1))
+	}
+	if r.steps == 0 {
+		r.steps = 1 // single-node degenerate case
+	}
+	r.stepEnd = make([][]sim.Time, n)
+	r.done = make([][]bool, n)
+	for i := range r.stepEnd {
+		r.stepEnd[i] = make([]sim.Time, r.steps)
+		r.done[i] = make([]bool, r.steps)
+	}
+	chunk := spec.Bytes / n
+	if chunk < 1 {
+		chunk = 1
+	}
+	for id := 0; id < n; id++ {
+		node := id
+		m.Endpoint(id).Handle(hColl, func(d *scenario.Delivery) {
+			// Touching the payload models the combine/copy work at the
+			// receiver; the reduce itself is memory-bound here.
+			d.EP.Load(0x4000, d.Size)
+			r.cMsgs.Inc()
+			r.cBytes.Add(uint64(d.Size))
+			r.recvd[node]++
+		})
+	}
+	sc := scenario.New()
+	start := m.Clock()
+	for id := 0; id < n; id++ {
+		self := id
+		switch spec.Schedule {
+		case RingAllreduce:
+			sc.At(id, func(ep *scenario.Endpoint) {
+				right := (self + 1) % r.n
+				for s := 0; s < r.steps; s++ {
+					ep.SendTo(right, hColl, chunk, nil)
+					r.waitRecv(ep, self, s+1)
+					r.mark(self, s, ep.Clock())
+				}
+			})
+		case RDAllreduce:
+			sc.At(id, func(ep *scenario.Endpoint) {
+				for s := 0; s < r.steps; s++ {
+					partner := self ^ (1 << s)
+					ep.SendTo(partner, hColl, spec.Bytes, nil)
+					r.waitRecv(ep, self, s+1)
+					r.mark(self, s, ep.Clock())
+				}
+			})
+		case Alltoall:
+			sc.At(id, func(ep *scenario.Endpoint) {
+				for s := 0; s < r.steps; s++ {
+					var partner int
+					if pow2 {
+						partner = self ^ (s + 1)
+					} else {
+						partner = (self + s + 1) % r.n
+					}
+					ep.SendTo(partner, hColl, chunk, nil)
+					r.waitRecv(ep, self, s+1)
+					r.mark(self, s, ep.Clock())
+				}
+			})
+		case Broadcast:
+			sc.At(id, func(ep *scenario.Endpoint) {
+				// Binomial tree: node 0 starts with the data; in round s
+				// every holder below 2^s forwards to its +2^s peer, and a
+				// node joins in the round matching its highest set bit.
+				joinRound := -1
+				if self != 0 {
+					joinRound = bits.Len(uint(self)) - 1
+				}
+				for s := 0; s < r.steps; s++ {
+					if s == joinRound {
+						r.waitRecv(ep, self, 1)
+						r.mark(self, s, ep.Clock())
+					}
+					if (self == 0 || s > joinRound) && self < 1<<s {
+						if dst := self + 1<<s; dst < r.n {
+							ep.SendTo(dst, hColl, spec.Bytes, nil)
+							r.mark(self, s, ep.Clock())
+						}
+					}
+				}
+			})
+		}
+	}
+	m.RunUntil(sc, sim.Forever)
+
+	rep := CollectiveReport{
+		Schedule:   spec.Schedule,
+		Nodes:      n,
+		Bytes:      spec.Bytes,
+		Steps:      r.steps,
+		Msgs:       r.cMsgs.Value(),
+		MovedBytes: r.cBytes.Value(),
+	}
+	for s := 0; s < r.steps; s++ {
+		st := StepStat{Step: s}
+		seen := false
+		for node := 0; node < n; node++ {
+			if !r.done[node][s] {
+				continue
+			}
+			end := r.stepEnd[node][s]
+			if !seen || end < st.MinEnd {
+				st.MinEnd = end
+			}
+			if !seen || end > st.MaxEnd {
+				st.MaxEnd = end
+			}
+			seen = true
+		}
+		if !seen {
+			continue
+		}
+		st.Skew = st.MaxEnd - st.MinEnd
+		rep.PerStep = append(rep.PerStep, st)
+		if st.Skew > rep.MaxSkew {
+			rep.MaxSkew = st.Skew
+		}
+		if st.MaxEnd-start > rep.CompletionCycles {
+			rep.CompletionCycles = st.MaxEnd - start
+		}
+	}
+	rep.CompletionMicros = float64(rep.CompletionCycles) / params.CPUMHz
+	return rep, nil
+}

@@ -1,0 +1,78 @@
+// Package dcn is the datacenter scenario pack: service-style traffic
+// expressed as ordinary scenario/Endpoint consumers, so every
+// experiment composes with all five NI designs, the DMA comparator,
+// and both interconnect fabrics exactly like the paper's own
+// benchmarks.
+//
+// Two families are modelled:
+//
+//   - RPC fan-out/fan-in (RunRPC): front-end calls that touch k
+//     backends per tier — optionally through multiple tiers — with
+//     exponential per-tier service times, a straggler-aware join at
+//     the caller, optional hedged duplicates for tail cutting, and an
+//     incast preset (small requests, bulk replies) for storage-style
+//     reads. Offered load comes from a weighted aggregated client
+//     population (internal/workload.Population), so millions of
+//     simulated clients run on 16–256 simulated nodes.
+//
+//   - Collective schedules (RunCollective): ring and
+//     recursive-doubling allreduce, pairwise-exchange alltoall, and a
+//     binomial broadcast tree, each a scripted step schedule emitting
+//     a completion time and per-step skew report.
+//
+// Everything is deterministic: all randomness derives from the spec
+// seed through apps.Rand streams, and measurement is free in
+// simulated time, so a run is byte-for-byte reproducible.
+package dcn
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Dcn-private active-message handler ids (workload owns 400+; the dcn
+// pack starts at 500).
+const (
+	hRPCReq = 500 + iota // RPC sub-request (any tier)
+	hRPCRep              // RPC sub-reply
+	hColl                // collective step payload
+)
+
+// Schedule names one collective algorithm.
+type Schedule string
+
+const (
+	// RingAllreduce is the bandwidth-optimal ring: 2(n-1) steps of
+	// 1/n-sized chunks (reduce-scatter then allgather).
+	RingAllreduce Schedule = "ring-allreduce"
+	// RDAllreduce is recursive doubling: log2(n) exchanges of the full
+	// vector (latency-optimal; requires a power-of-two node count).
+	RDAllreduce Schedule = "rd-allreduce"
+	// Alltoall is a pairwise exchange: n-1 rounds, each node trading
+	// a 1/n chunk with one partner per round (XOR partners on
+	// power-of-two machines, ring offsets otherwise).
+	Alltoall Schedule = "alltoall"
+	// Broadcast is a binomial tree from node 0: ceil(log2(n)) rounds,
+	// doubling the holder set each round.
+	Broadcast Schedule = "broadcast"
+)
+
+// Schedules lists every collective schedule in display order.
+func Schedules() []Schedule {
+	return []Schedule{RingAllreduce, RDAllreduce, Alltoall, Broadcast}
+}
+
+// ParseSchedule resolves a CLI spelling, listing the valid values on
+// a typo.
+func ParseSchedule(s string) (Schedule, error) {
+	for _, sch := range Schedules() {
+		if s == string(sch) {
+			return sch, nil
+		}
+	}
+	names := make([]string, 0, len(Schedules()))
+	for _, sch := range Schedules() {
+		names = append(names, string(sch))
+	}
+	return "", fmt.Errorf("dcn: unknown schedule %q (valid: %s)", s, strings.Join(names, ", "))
+}

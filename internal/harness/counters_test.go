@@ -8,6 +8,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/dcn"
 	"repro/internal/params"
 	"repro/internal/scenario"
 )
@@ -68,6 +69,37 @@ func observedCounters(t *testing.T) map[string]bool {
 			}
 			m.Close()
 		}
+	}
+	// The dcn pack's rpc.* / coll.* families: a small hedged RPC run
+	// (hedge + overload queueing exercise every rpc counter) and one
+	// collective, per fabric.
+	for _, topo := range []params.Topology{params.TopoFlat, params.TopoTorus} {
+		cfg := params.Config{Nodes: SweepNodes, NI: params.CNI512Q, Bus: params.MemoryBus, Topology: topo}
+		m, err := scenario.Build(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec := RPCSpecFor(RPCOptions{Clients: 10_000, Hedge: 0.5, HedgeAfterCycles: 1_000}, 4, 200_000)
+		spec.MaxInflight = 1
+		if _, err := dcn.RunRPCOn(m, spec, 5_000, 40_000); err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range m.Stats().Counters() {
+			names[n] = true
+		}
+		m.Close()
+
+		m, err = scenario.Build(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := dcn.RunCollectiveOn(m, dcn.CollectiveSpec{Schedule: dcn.RingAllreduce, Bytes: 4096}); err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range m.Stats().Counters() {
+			names[n] = true
+		}
+		m.Close()
 	}
 	node := regexp.MustCompile(`^node\d+\.`)
 	norm := map[string]bool{}

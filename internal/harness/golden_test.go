@@ -34,6 +34,12 @@ func goldenTables() map[string]func() *Table {
 		// generators' seeded schedules, the histogram percentiles, and
 		// the knee detection — to the byte.
 		"loadsweep": func() *Table { t, _ := LoadSweep(SweepOptions{}); return t },
+		// The datacenter pack's two tables: the RPC fan-out tail ladder
+		// (straggler join, overload point) and the collective schedule
+		// grid. Pinning both fixes the dcn subsystem's arrival model,
+		// join/hedge logic, and schedule step maths to the byte.
+		"rpc":        func() *Table { t, _ := RPCSweep(RPCOptions{}); return t },
+		"collective": func() *Table { t, _ := CollectiveSweep(CollectiveOptions{}); return t },
 	}
 }
 

@@ -142,6 +142,16 @@ func Registry() []Experiment {
 				t, rows := FaultSweep(FaultOptions{})
 				return t, FaultData(t, FaultLadder, rows)
 			}},
+		{Name: "rpc", Title: "RPC fan-out tail latency at a million clients, flat vs torus",
+			Tags: ext("dcn"), Run: func(RunOpts) (*Table, *Data) {
+				t, rows := RPCSweep(RPCOptions{})
+				return t, RPCData(t, rows)
+			}},
+		{Name: "collective", Title: "Collective schedule completion and per-step skew, flat vs torus",
+			Tags: ext("dcn"), Run: func(RunOpts) (*Table, *Data) {
+				t, rows := CollectiveSweep(CollectiveOptions{})
+				return t, CollectiveData(t, rows)
+			}},
 	}
 	// Stamp every result's Data.Name from the registry entry, so the
 	// name literal cannot drift between the entry and its Data.

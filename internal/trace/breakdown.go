@@ -1,0 +1,102 @@
+package trace
+
+import (
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Breakdown is the per-hop latency decomposition of every traced user
+// message: where the time went between a sender calling into the NI
+// and the receiver's handler running. It is derived entirely from the
+// lifecycle rings, so it costs nothing during the run and reflects
+// exactly the records that survived ring wrap (best effort on
+// wrapped rings, exact otherwise — check Recorder.Overwritten).
+type Breakdown struct {
+	// Stall is inject → admit per fragment: cycles spent blocked in NI
+	// admission (sliding-window stalls) before the fabric took the
+	// fragment.
+	Stall sim.Histogram
+	// Fabric is admit → deliver per fragment: cycles in the
+	// interconnect, serialisation and routing included.
+	Fabric sim.Histogram
+	// Dispatch is last-fragment delivery → user.deliver per message:
+	// cycles between the data arriving and the destination's poll loop
+	// reassembling and running the handler — the receiver's share of
+	// the latency.
+	Dispatch sim.Histogram
+	// Frags and Msgs count matched fragment spans and user messages.
+	Frags, Msgs uint64
+}
+
+// breakKey identifies a fragment across its lifecycle records.
+type breakKey struct {
+	src, dst int32
+	id       uint64
+	frag     uint8
+}
+
+// breakUserKey identifies a reassembled user message.
+type breakUserKey struct {
+	src, dst int32
+	id       uint64
+}
+
+// ComputeBreakdown walks the recorder's rings and matches
+// inject→admit→deliver→user.deliver chains into per-stage
+// distributions. Ack frames and fault-injected duplicates are
+// excluded — the breakdown describes user payload only. Spans are
+// matched FIFO per fragment key, the same discipline the Perfetto
+// export uses.
+func (r *Recorder) ComputeBreakdown() Breakdown {
+	var all []Record
+	var buf []Record
+	for n := 0; n < r.Nodes(); n++ {
+		buf = r.records(n, buf[:0])
+		all = append(all, buf...)
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].At < all[j].At })
+
+	var b Breakdown
+	injects := make(map[breakKey][]uint64)
+	admits := make(map[breakKey][]uint64)
+	lastDeliver := make(map[breakUserKey]uint64)
+	pop := func(m map[breakKey][]uint64, k breakKey) (uint64, bool) {
+		q := m[k]
+		if len(q) == 0 {
+			return 0, false
+		}
+		m[k] = q[1:]
+		return q[0], true
+	}
+	for i := range all {
+		rec := &all[i]
+		if rec.Flags&(FlagAck|FlagDup) != 0 {
+			continue
+		}
+		k := breakKey{rec.Src, rec.Dst, rec.ID, rec.Frag}
+		switch rec.Kind {
+		case KInject:
+			injects[k] = append(injects[k], rec.At)
+		case KAdmit:
+			if at, ok := pop(injects, k); ok {
+				b.Stall.Record(sim.Time(rec.At - at))
+			}
+			admits[k] = append(admits[k], rec.At)
+		case KDeliver:
+			if at, ok := pop(admits, k); ok {
+				b.Fabric.Record(sim.Time(rec.At - at))
+				b.Frags++
+			}
+			lastDeliver[breakUserKey{rec.Src, rec.Dst, rec.ID}] = rec.At
+		case KUserDeliver:
+			uk := breakUserKey{rec.Src, rec.Dst, rec.ID}
+			if at, ok := lastDeliver[uk]; ok {
+				b.Dispatch.Record(sim.Time(rec.At - at))
+				b.Msgs++
+				delete(lastDeliver, uk)
+			}
+		}
+	}
+	return b
+}

@@ -1,0 +1,64 @@
+package trace_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/params"
+)
+
+// TestBreakdownStages: the per-hop decomposition matches the golden
+// scenario's known message population — six user messages, every
+// fragment's fabric span closed, and each stage's samples consistent
+// with the run.
+func TestBreakdownStages(t *testing.T) {
+	m, _, got := goldenScenario(t,
+		params.Trace{Enabled: true, RingSize: 4096}, params.Faults{})
+	defer m.Close()
+	if got != [4]int{0, 1, 2, 3} {
+		t.Fatalf("deliveries = %v, want [0 1 2 3]", got)
+	}
+	b := m.TraceRecorder().ComputeBreakdown()
+	if b.Msgs != 6 {
+		t.Errorf("breakdown matched %d user messages, want 6", b.Msgs)
+	}
+	if b.Frags == 0 || b.Fabric.Count() != b.Frags {
+		t.Errorf("fabric stage has %d samples for %d fragments", b.Fabric.Count(), b.Frags)
+	}
+	if b.Stall.Count() != b.Frags {
+		t.Errorf("stall stage has %d samples for %d fragments", b.Stall.Count(), b.Frags)
+	}
+	if b.Dispatch.Count() != b.Msgs {
+		t.Errorf("dispatch stage has %d samples for %d messages", b.Dispatch.Count(), b.Msgs)
+	}
+	// On the torus a fragment spends at least a hop in the fabric.
+	if b.Fabric.Min() < params.TorusHopLatency {
+		t.Errorf("fabric min %d below one torus hop", b.Fabric.Min())
+	}
+}
+
+// TestBreakdownDeterministic: identical runs decompose identically.
+func TestBreakdownDeterministic(t *testing.T) {
+	run := func() interface{} {
+		m, _, _ := goldenScenario(t,
+			params.Trace{Enabled: true, RingSize: 4096}, params.Faults{})
+		defer m.Close()
+		return m.TraceRecorder().ComputeBreakdown()
+	}
+	if a, b := run(), run(); !reflect.DeepEqual(a, b) {
+		t.Errorf("breakdowns differ:\n  a: %+v\n  b: %+v", a, b)
+	}
+}
+
+// TestBreakdownExcludesAcks: with faults forcing retransmit/ack
+// traffic, the breakdown still only counts user payload messages.
+func TestBreakdownExcludesAcks(t *testing.T) {
+	m, _, _ := goldenScenario(t,
+		params.Trace{Enabled: true, RingSize: 4096},
+		params.Faults{Seed: 3, DropProb: 0.05})
+	defer m.Close()
+	b := m.TraceRecorder().ComputeBreakdown()
+	if b.Msgs != 6 {
+		t.Errorf("faulted breakdown matched %d user messages, want 6", b.Msgs)
+	}
+}

@@ -56,6 +56,9 @@ const (
 	serviceCycles = 40
 	// replyBytes is the closed-loop reply payload.
 	replyBytes = 64
+	// popIssueBatch bounds how many due population arrivals a node
+	// issues before draining replies again (see addClosedPopulation).
+	popIssueBatch = 64
 )
 
 // Report is one measured workload run.
@@ -362,7 +365,15 @@ type clientSlot struct {
 }
 
 // addClosed adds the closed-loop servers and client multiplexers.
+// Population configurations (params.Workload.PopulationActive) use the
+// aggregated weighted-population arrival process; the original
+// per-session slots below are kept verbatim for Clients <= 1 so
+// existing single-session runs stay byte-identical.
 func (r *run) addClosed(sc *scenario.Scenario) {
+	if r.wl.PopulationActive() {
+		r.addClosedPopulation(sc)
+		return
+	}
 	for id := 0; id < r.n; id++ {
 		at := id
 		g := r.gens[id]
@@ -418,6 +429,96 @@ func (r *run) addClosed(sc *scenario.Scenario) {
 							wait = d
 						}
 					}
+				}
+				if wait > 0 {
+					ep.Sleep(wait)
+				}
+			}
+		})
+	}
+}
+
+// popReq is one in-flight population request: the issuing client's
+// weight (returned to the thinking pool on reply) and the intended
+// arrival instant the round trip is timed from. Requests are recycled
+// through a per-node freelist, so the steady state allocates nothing.
+type popReq struct {
+	weight float64
+	start  sim.Time
+}
+
+// addClosedPopulation runs the closed loop as one aggregated weighted
+// population per node (see Population): each node carries wl.Clients
+// weighted clients behind a single arrival process, so the per-arrival
+// cost is O(log Clients) and a machine can carry millions of clients.
+// Latency is coordinated-omission-free: a request is timed from its
+// scheduled arrival instant even when the sender was backlogged, so
+// sender-side queueing under overload lands in the tail.
+func (r *run) addClosedPopulation(sc *scenario.Scenario) {
+	clients := r.wl.Clients
+	if clients < 1 {
+		clients = 1
+	}
+	set := NewClientSet(ClientWeights(r.wl, clients))
+	pops := make([]*Population, r.n)
+	free := make([][]*popReq, r.n)
+	for id := 0; id < r.n; id++ {
+		at := id
+		ep := r.m.Endpoint(id)
+		ep.Handle(hReq, func(d *scenario.Delivery) {
+			d.EP.Load(0x4000, d.Size)
+			d.EP.Compute(serviceCycles)
+			r.delivered++
+			if d.EP.Clock() > r.warmEnd {
+				r.winBytes += uint64(d.Size)
+			}
+			d.EP.SendTo(d.Src, hRep, replyBytes, d.Payload)
+		})
+		ep.Handle(hRep, func(d *scenario.Delivery) {
+			pr := d.Payload.(*popReq)
+			now := d.EP.Clock()
+			if now > r.warmEnd {
+				r.hists[at].Record(now - pr.start)
+			}
+			pops[at].Return(pr.weight, now)
+			free[at] = append(free[at], pr)
+		})
+	}
+	for id := 0; id < r.n; id++ {
+		self := id
+		g := r.gens[id]
+		sc.At(id, func(ep *scenario.Endpoint) {
+			pop := set.Population(g.think, g.rng, ep.Clock())
+			pops[self] = pop
+			for ep.Clock() < r.endAt {
+				issued := false
+				// Issue the arrivals that have come due — a blocked send
+				// advances the clock, and the arrivals that backed up
+				// behind it keep their scheduled start stamps. The batch
+				// cap matters under deep overload: when arrivals come due
+				// faster than sends complete, an uncapped loop would
+				// never yield to Drain and no node would ever serve a
+				// request.
+				for b := 0; b < popIssueBatch && pop.NextAt() <= ep.Clock(); b++ {
+					var pr *popReq
+					if n := len(free[self]); n > 0 {
+						pr = free[self][n-1]
+						free[self] = free[self][:n-1]
+					} else {
+						pr = &popReq{}
+					}
+					pr.start = pop.NextAt()
+					pr.weight = pop.Take()
+					r.sent++
+					ep.SendTo(g.pickDst(self), hReq, g.pickSize(), pr)
+					issued = true
+				}
+				if ep.Drain() > 0 || issued {
+					continue
+				}
+				wait := sim.Time(pollQuantum)
+				if next := pop.NextAt(); next > ep.Clock() && next-ep.Clock() < wait {
+					wait = next - ep.Clock()
 				}
 				if wait > 0 {
 					ep.Sleep(wait)
