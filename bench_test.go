@@ -188,3 +188,33 @@ func BenchmarkTorusLoadsweep(b *testing.B) { benchLoadsweepPoint(b, TopoTorus) }
 // BenchmarkFlatLoadsweep is the flat-fabric twin of
 // BenchmarkTorusLoadsweep (same workload, contention-free fabric).
 func BenchmarkFlatLoadsweep(b *testing.B) { benchLoadsweepPoint(b, TopoFlat) }
+
+// benchShard4kPoint runs the Shard4kBench overload point at the given
+// shard count (0 = legacy serial engine) and reports run-phase
+// seconds per run (machine construction excluded — the O(n²) tables
+// dominate setup at 4096 nodes and are identical across shard counts).
+func benchShard4kPoint(b *testing.B, shards int) {
+	b.Helper()
+	wl := DefaultWorkload()
+	wl.OfferedMBps = Shard4kBenchPerNodeMBps
+	wl.ZipfS = 0
+	cfg := Config{Nodes: Shard4kBenchNodes, NI: CNI16Q, Bus: MemoryBus,
+		Topology: TopoTorus, Shards: shards, Workload: &wl}
+	var run float64
+	for i := 0; i < b.N; i++ {
+		_, secs := MeasureLoadTimed(cfg, Shard4kBenchWarm, Shard4kBenchMeasure)
+		run += secs
+	}
+	b.ReportMetric(run/float64(b.N), "run-sec/op")
+}
+
+// BenchmarkShard4kNodes is the sharded-engine scale benchmark: the
+// 4096-node uniform-overload torus point at Shard4kBenchShards. The
+// benchjson events_per_sec_4k_nodes canary runs exactly this
+// workload, and its --check gate compares it against the serial twin
+// below.
+func BenchmarkShard4kNodes(b *testing.B) { benchShard4kPoint(b, Shard4kBenchShards) }
+
+// BenchmarkShard4kNodesSerial is the legacy serial engine on the same
+// point — the denominator of the canary's speedup gate.
+func BenchmarkShard4kNodesSerial(b *testing.B) { benchShard4kPoint(b, 0) }

@@ -66,6 +66,21 @@ type benchReport struct {
 	RingAllreduceFlatCycles  uint64  `json:"ring_allreduce_flat_cni512q_cycles"`
 	RingAllreduceTorusCycles uint64  `json:"ring_allreduce_torus_cni512q_cycles"`
 
+	// The sharded-engine canaries: the Shard4kBench point (uniform
+	// overload, 4096-node torus) on the sharded engine at 64 shards vs
+	// the legacy serial engine. The delivered count is simulated and
+	// exact — --check diffs it and additionally re-runs the point at 1
+	// shard, which must deliver identically (shard-count invariance at
+	// scale) — while the per-second rates and the speedup are host perf:
+	// --check gates the speedup above shard4kMinSpeedup using best-of-3
+	// run-phase timings. Events here are delivered user messages per
+	// wall-clock second of run phase (construction excluded), the same
+	// convention as torus_loadsweep_events_per_sec.
+	EventsPerSec4kNodes       float64 `json:"events_per_sec_4k_nodes"`
+	EventsPerSec4kNodesSerial float64 `json:"events_per_sec_4k_nodes_serial"`
+	Shard4kDeliveredMsgs      uint64  `json:"shard_4k_delivered_msgs"`
+	Shard4kSpeedup            float64 `json:"shard_4k_speedup"`
+
 	// TraceOverheadPct is the wall-clock cost of full telemetry
 	// (lifecycle recorder + sampler at the default period) on the same
 	// torus loadsweep point, in percent over the untraced run. The
@@ -125,6 +140,50 @@ func torusLoadsweepThroughput(spec cni.TraceSpec) (eps float64, delivered uint64
 	rep := cni.MeasureLoad(cfg, cni.LoadsweepBenchWarm, cni.LoadsweepBenchMeasure)
 	wall := time.Since(start).Seconds()
 	return float64(rep.Delivered) / wall, rep.Delivered
+}
+
+// shard4kMinSpeedup is the floor --check enforces on the sharded
+// engine's run-phase speedup over the serial engine at 4096 nodes.
+// The win comes from 64 shallow per-shard heaps replacing one
+// machine-wide heap (the overloaded fabric keeps it deep) and from
+// each epoch touching one 64-node row's state instead of striding the
+// whole machine, so it holds on a single-core host too; extra cores
+// only widen it.
+const shard4kMinSpeedup = 1.5
+
+// shard4kPoint runs the Shard4kBench workload point at the given shard
+// count (0 = legacy serial engine) and returns delivered user messages
+// per run-phase wall-clock second plus the (deterministic) delivered
+// count and the run-phase seconds themselves.
+func shard4kPoint(shards int) (eps float64, delivered uint64, secs float64) {
+	wl := cni.DefaultWorkload()
+	wl.OfferedMBps = cni.Shard4kBenchPerNodeMBps
+	wl.ZipfS = 0 // uniform destinations; see harness.Shard4kBench*
+	cfg := cni.Config{Nodes: cni.Shard4kBenchNodes, NI: cni.CNI16Q,
+		Bus: cni.MemoryBus, Topology: cni.TopoTorus, Shards: shards, Workload: &wl}
+	rep, secs := cni.MeasureLoadTimed(cfg, cni.Shard4kBenchWarm, cni.Shard4kBenchMeasure)
+	return float64(rep.Delivered) / secs, rep.Delivered, secs
+}
+
+// shard4kSpeedup measures the sharded-vs-serial run-phase speedup at
+// the Shard4kBench point, best of three runs each to damp host
+// scheduling noise, and returns both rates plus the sharded run's
+// delivered count.
+func shard4kSpeedup() (eps, epsSerial, speedup float64, delivered uint64) {
+	best := func(shards int) (eps, secs float64, delivered uint64) {
+		secs = 1e18
+		for i := 0; i < 3; i++ {
+			e, d, s := shard4kPoint(shards)
+			if s < secs {
+				eps, secs = e, s
+			}
+			delivered = d
+		}
+		return eps, secs, delivered
+	}
+	epsSerial, serialSecs, _ := best(0)
+	eps, shardSecs, delivered := best(cni.Shard4kBenchShards)
+	return eps, epsSerial, serialSecs / shardSecs, delivered
 }
 
 // traceOverhead measures the telemetry tax: the torus loadsweep point
@@ -252,6 +311,26 @@ func checkCanaries(path string) error {
 	if committed.TraceOverheadPct == 0 {
 		drift = append(drift, "trace_overhead_pct: committed snapshot carries no trace-overhead measurement; regenerate with `cnisim benchjson`")
 	}
+	if committed.EventsPerSec4kNodes <= 0 || committed.Shard4kSpeedup == 0 {
+		drift = append(drift, "events_per_sec_4k_nodes: committed snapshot carries no sharded-engine measurement; regenerate with `cnisim benchjson`")
+	}
+	// The sharded-engine canaries: the 4096-node point's delivered
+	// count is exact; one shard must reproduce sixteen (shard-count
+	// invariance at scale, the serial-reference ordering); and sharding
+	// must actually pay on the host.
+	_, _, speedup4k, delivered4k := shard4kSpeedup()
+	if delivered4k != committed.Shard4kDeliveredMsgs {
+		drift = append(drift, fmt.Sprintf("shard_4k_delivered_msgs: committed %d, fresh %d",
+			committed.Shard4kDeliveredMsgs, delivered4k))
+	}
+	if _, oneShard, _ := shard4kPoint(1); oneShard != delivered4k {
+		drift = append(drift, fmt.Sprintf("shard-count variance: 1 shard delivered %d messages at 4096 nodes, %d shards delivered %d",
+			oneShard, cni.Shard4kBenchShards, delivered4k))
+	}
+	if speedup4k <= shard4kMinSpeedup {
+		drift = append(drift, fmt.Sprintf("shard_4k_speedup: fresh measurement %.2fx is under the %.1fx floor over the serial engine",
+			speedup4k, shard4kMinSpeedup))
+	}
 	// The telemetry canary: tracing the heaviest path must not change
 	// what the simulation computes and must stay cheap on the host.
 	overheadPct, tracedDelivered := traceOverhead()
@@ -292,6 +371,8 @@ func runBenchJSON(args []string) error {
 	r.EngineEventsPerSec, r.EngineAllocsPerEvent = engineThroughput()
 	canaries(&r)
 	r.TraceOverheadPct, _ = traceOverhead()
+	r.EventsPerSec4kNodes, r.EventsPerSec4kNodesSerial, r.Shard4kSpeedup,
+		r.Shard4kDeliveredMsgs = shard4kSpeedup()
 
 	r.Fig6MemoryWallMs = timeTable(func() *harness.Table { return harness.Fig6(cni.MemoryBus) })
 	r.Fig7MemoryWallMs = timeTable(func() *harness.Table { return harness.Fig7(cni.MemoryBus) })

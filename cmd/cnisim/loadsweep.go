@@ -19,6 +19,8 @@ func runLoadSweep(args []string) error {
 	ni := fs.String("ni", "", "restrict to one NI design (default: the five paper NIs + DMA)")
 	topology := fs.String("topology", "", "restrict to one fabric (default: flat and torus)")
 	seed := fs.Uint64("seed", 0, "workload seed (0 = default)")
+	nodes := fs.Int("nodes", 0, "node count for a --load point (default the sweep's 16)")
+	shards := fs.Int("shards", 0, "event-engine shards for a --load point (torus machines over 16 nodes; 0 = serial)")
 	jsonOut, csvOut := exportFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -56,7 +58,12 @@ func runLoadSweep(args []string) error {
 		if ak == cni.ArrivalClosed {
 			return fmt.Errorf("--load sets an open-loop offered rate; the closed loop self-limits (run the closed-loop sweep without --load instead)")
 		}
-		return runLoadPoint(opt, *load)
+		return runLoadPoint(opt, *load, *nodes, *shards)
+	}
+	// The sweep's cells are pinned at the paper's 16-node machine so
+	// rows stay comparable; scale knobs only shape a --load point.
+	if *nodes != 0 || *shards != 0 {
+		return fmt.Errorf("--nodes/--shards apply to a single --load point; the sweep is pinned at %d nodes", harness.SweepNodes)
 	}
 	pm := startProgress("loadsweep")
 	if pm != nil {
@@ -74,8 +81,11 @@ func runLoadSweep(args []string) error {
 }
 
 // runLoadPoint measures one offered-load point with full percentile
-// output, using the sweep's measurement windows.
-func runLoadPoint(opt cni.SweepOptions, perNodeMBps float64) error {
+// output, using the sweep's measurement windows. nodes and shards
+// scale the machine past the sweep's 16-node default (shards > 0
+// selects the sharded conservative-lookahead engine on torus machines
+// over 16 nodes; results are shard-count invariant).
+func runLoadPoint(opt cni.SweepOptions, perNodeMBps float64, nodes, shards int) error {
 	kind := cni.CNI512Q
 	if len(opt.NIs) == 1 {
 		kind = opt.NIs[0]
@@ -84,8 +94,11 @@ func runLoadPoint(opt cni.SweepOptions, perNodeMBps float64) error {
 	if len(opt.Topos) == 1 {
 		topo = opt.Topos[0]
 	}
+	if nodes == 0 {
+		nodes = harness.SweepNodes
+	}
 	wl := harness.SweepWorkload(opt, perNodeMBps, 0)
-	cfg := cni.Config{Nodes: harness.SweepNodes, NI: kind, Bus: cni.MemoryBus, Topology: topo, Workload: wl}
+	cfg := cni.Config{Nodes: nodes, NI: kind, Bus: cni.MemoryBus, Topology: topo, Workload: wl, Shards: shards}
 	if err := cfg.Validate(); err != nil {
 		return err
 	}

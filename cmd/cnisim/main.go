@@ -20,7 +20,7 @@
 //	cnisim exchange --ni=CNI512Q --bus=memory --size=64 [--topology=torus]
 //	cnisim bench --app=spsolve --ni=CNI16Qm --bus=memory [--topology=torus]
 //	cnisim loadsweep [--arrival=poisson|bursty|closed] [--zipf=1.1] [--ni=...] [--topology=...]
-//	cnisim loadsweep --load=8 --ni=CNI512Q --topology=torus   (one load point, MB/s per node)
+//	cnisim loadsweep --load=8 --ni=CNI512Q --topology=torus [--nodes=4096 --shards=64]
 //	cnisim faultsweep [--drop=1e-3] [--degrade=4] [--seed=7] [--ni=...] [--topology=...]
 //	cnisim benchjson [--out=BENCH_sim.json] [--check]
 //	cnisim trace loadsweep --topology=torus [--out=trace.json] [--sample-every=1000]
@@ -104,7 +104,10 @@ commands:
   congestion        probe RTT/bandwidth under load, flat vs torus
   loadsweep         offered-load sweep to saturation with tail-latency telemetry
                     (--arrival --zipf --ni --topology --seed;
-                    --load=MB/s per node measures one point instead)
+                    --load=MB/s per node measures one point instead, scalable
+                    with --nodes and --shards: a torus machine over 16 nodes
+                    with --shards=N runs the sharded conservative-lookahead
+                    engine, byte-identical across shard counts)
   faultsweep        goodput/tail latency vs injected drop rate under the
                     reliable transport (--drop --degrade --seed --ni --topology)
   rpc               datacenter RPC fan-out tail-at-scale sweep with aggregated
@@ -113,7 +116,9 @@ commands:
                     point instead, optionally with the --incast-chunk=B storage preset)
   collective        collective-schedule sweep: completion time and per-step skew
                     (--bytes --ni --topology; --schedule=ring-allreduce|rd-allreduce|
-                    alltoall|broadcast runs one schedule with per-step detail)
+                    alltoall|broadcast runs one schedule with per-step detail,
+                    scalable with --nodes and --shards; rd-allreduce needs a
+                    power-of-two node count)
   latency           one 2-node round-trip measurement (--ni --bus --size --topology)
   bandwidth         one 2-node bandwidth measurement (--ni --bus --size --topology)
   incast            hotspot incast: all nodes stream to node 0 (--ni --bus --nodes --size --count --topology)

@@ -291,6 +291,16 @@ func TestFlagTyposFailWithValidValues(t *testing.T) {
 		{"collective", []string{"--ni=CNI1024Q"}, []string{"CNI1024Q", "NI2w", "CNI512Q", "DMA"}},
 		{"collective", []string{"--topology=mesh"}, []string{"mesh", "flat", "torus"}},
 		{"collective", []string{"--bytes=-1"}, []string{"-1", ">= 1"}},
+		// Recursive doubling pairs ranks by XOR; a non-power-of-two node
+		// count must be rejected at flag time, naming the constraint,
+		// instead of surfacing as a deep dcn error after machine build.
+		{"collective", []string{"--schedule=rd-allreduce", "--nodes=12"}, []string{"12", "powers of two"}},
+		{"collective", []string{"--schedule=rd-allreduce", "--nodes=1"}, []string{">= 2", "1"}},
+		// Scale knobs shape a single run; the sweep stays pinned at the
+		// paper's 16-node machine so its rows remain comparable.
+		{"collective", []string{"--nodes=64"}, []string{"--nodes", "pinned", "16"}},
+		{"loadsweep", []string{"--nodes=64"}, []string{"--nodes", "pinned", "16"}},
+		{"loadsweep", []string{"--shards=4"}, []string{"--shards", "pinned", "16"}},
 	}
 	for _, c := range cases {
 		err := run(c.cmd, c.args)

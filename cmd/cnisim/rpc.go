@@ -172,6 +172,8 @@ func runCollective(args []string) error {
 	bytes := fs.Int("bytes", 0, "per-node contribution in bytes (default 65536)")
 	ni := fs.String("ni", "", "restrict to one NI design (single run: CNI512Q)")
 	topology := fs.String("topology", "", "restrict to one fabric (single run: flat)")
+	nodes := fs.Int("nodes", 0, "node count for a single --schedule run (default the sweep's 16)")
+	shards := fs.Int("shards", 0, "event-engine shards for a single --schedule run (torus machines over 16 nodes; 0 = serial)")
 	jsonOut, csvOut := exportFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -181,6 +183,12 @@ func runCollective(args []string) error {
 	}
 	if *bytes < 0 {
 		return fmt.Errorf("collective: --bytes must be >= 1, have %d", *bytes)
+	}
+	if *schedule == "" && (*nodes != 0 || *shards != 0) {
+		return fmt.Errorf("--nodes/--shards apply to a single --schedule run; the sweep is pinned at %d nodes", harness.SweepNodes)
+	}
+	if *nodes != 0 && *nodes < 2 {
+		return fmt.Errorf("collective: --nodes must be >= 2, have %d", *nodes)
 	}
 	opt := cni.CollectiveOptions{Bytes: *bytes}
 	if *ni != "" {
@@ -202,7 +210,17 @@ func runCollective(args []string) error {
 		if err != nil {
 			return err
 		}
-		return runCollectiveRun(opt, sch, *jsonOut, *csvOut)
+		n := *nodes
+		if n == 0 {
+			n = harness.SweepNodes
+		}
+		// Recursive doubling only pairs up cleanly on powers of two;
+		// reject at flag time so the error points at the flag, not at a
+		// machine the simulator already built.
+		if sch == cni.RDAllreduce && n&(n-1) != 0 {
+			return fmt.Errorf("collective: invalid --nodes %d for %s (valid: powers of two >= 2)", n, sch)
+		}
+		return runCollectiveRun(opt, sch, n, *shards, *jsonOut, *csvOut)
 	}
 	pm := startProgress("collective")
 	if pm != nil {
@@ -215,8 +233,9 @@ func runCollective(args []string) error {
 }
 
 // runCollectiveRun executes one schedule on one machine and reports
-// per-step completion spread.
-func runCollectiveRun(opt cni.CollectiveOptions, sch cni.Schedule, jsonOut, csvOut string) error {
+// per-step completion spread. nodes and shards scale the machine past
+// the sweep's 16-node default.
+func runCollectiveRun(opt cni.CollectiveOptions, sch cni.Schedule, nodes, shards int, jsonOut, csvOut string) error {
 	kind := cni.CNI512Q
 	if len(opt.NIs) == 1 {
 		kind = opt.NIs[0]
@@ -229,7 +248,7 @@ func runCollectiveRun(opt cni.CollectiveOptions, sch cni.Schedule, jsonOut, csvO
 	if bytes <= 0 {
 		bytes = cni.CollectiveBytes
 	}
-	cfg := cni.Config{Nodes: harness.SweepNodes, NI: kind, Bus: cni.MemoryBus, Topology: topo}
+	cfg := cni.Config{Nodes: nodes, NI: kind, Bus: cni.MemoryBus, Topology: topo, Shards: shards}
 	if err := cfg.Validate(); err != nil {
 		return err
 	}

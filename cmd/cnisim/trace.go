@@ -113,8 +113,8 @@ func writeTraceFile(path string, caps []trace.Capture) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "wrote %s: %d machines, %d records -> %d events (%d message spans, %d user deliveries, %d link spans, %d samples)\n",
-		path, len(caps), sum.Records, sum.Events, sum.FragSpans, sum.UserSpans, sum.LinkSpans, sum.Samples)
+	fmt.Fprintf(os.Stderr, "wrote %s: %d machines, %d records -> %d events (%d message spans, %d user deliveries, %d link spans, %d samples, %d overwritten)\n",
+		path, len(caps), sum.Records, sum.Events, sum.FragSpans, sum.UserSpans, sum.LinkSpans, sum.Samples, sum.Overwritten)
 	if sum.Overwritten > 0 {
 		fmt.Fprintf(os.Stderr, "warning: %d records overwritten (raise Trace.RingSize or trace a shorter run)\n", sum.Overwritten)
 	}

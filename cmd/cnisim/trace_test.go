@@ -6,6 +6,9 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // TestTraceFlags pins the shared telemetry flag handling, mirroring
@@ -93,6 +96,71 @@ func TestRunTraceCommand(t *testing.T) {
 	if err := runTrace(traceFlags{}, []string{"teleport"}); err == nil || !strings.Contains(err.Error(), "teleport") {
 		t.Errorf("trace with an unknown target should name it, got %v", err)
 	}
+}
+
+// TestTraceSummaryReportsOverwritten pins the truncation contract
+// from this PR's bug sweep: a wrapped trace ring must never export a
+// clipped file silently. The always-printed summary line carries the
+// overwritten count (including the healthy zero, so its absence is
+// visible), and a wrapped ring adds an explicit warning.
+func TestTraceSummaryReportsOverwritten(t *testing.T) {
+	wrapped := func(notes int) []trace.Capture {
+		r := trace.NewRecorder(sim.NewEngine(), 2, 4)
+		for i := 0; i < notes; i++ {
+			r.Note(1, trace.KInject, uint64(i), -1, 1, 0, 0, 0)
+		}
+		return []trace.Capture{{Label: "test", Rec: r}}
+	}
+	cases := []struct {
+		notes int
+		want  string
+		warn  bool
+	}{
+		{3, "0 overwritten", false},
+		{10, "6 overwritten", true}, // 10 notes into a 4-slot ring
+	}
+	for _, c := range cases {
+		path := filepath.Join(t.TempDir(), "ow.json")
+		stderr := captureStderr(t, func() {
+			if err := writeTraceFile(path, wrapped(c.notes)); err != nil {
+				t.Fatalf("writeTraceFile(%d notes): %v", c.notes, err)
+			}
+		})
+		if !strings.Contains(stderr, c.want) {
+			t.Errorf("%d notes: summary %q does not carry %q", c.notes, stderr, c.want)
+		}
+		if got := strings.Contains(stderr, "warning:"); got != c.warn {
+			t.Errorf("%d notes: warning printed = %v, want %v\n%s", c.notes, got, c.warn, stderr)
+		}
+	}
+}
+
+// captureStderr runs fn with os.Stderr redirected to a pipe.
+func captureStderr(t *testing.T, fn func()) string {
+	t.Helper()
+	old := os.Stderr
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stderr = w
+	defer func() {
+		w.Close()
+		os.Stderr = old
+	}()
+	fn()
+	w.Close()
+	os.Stderr = old
+	var b strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, rerr := r.Read(buf)
+		b.Write(buf[:n])
+		if rerr != nil {
+			break
+		}
+	}
+	return b.String()
 }
 
 // assertChromeTrace parses path as a Chrome trace-event document and

@@ -167,6 +167,13 @@ func MeasureLoad(cfg Config, warm, measure Cycles) LoadReport {
 	return workload.Run(cfg, warm, measure)
 }
 
+// MeasureLoadTimed is MeasureLoad plus the run phase's wall-clock
+// seconds (machine construction excluded) — the denominator the
+// sharded-engine speedup canary compares across Config.Shards values.
+func MeasureLoadTimed(cfg Config, warm, measure Cycles) (LoadReport, float64) {
+	return workload.RunTimed(cfg, warm, measure)
+}
+
 // Faults configures the deterministic fault-injection layer: seeded
 // per-message drop/corrupt/duplicate/delay probabilities, a
 // degraded-link window, node pause/crash schedules, and the reliable
@@ -211,6 +218,18 @@ const (
 	LoadsweepBenchWarm        = harness.LoadsweepBenchWarm
 	LoadsweepBenchMeasure     = harness.LoadsweepBenchMeasure
 	LoadsweepBenchPerNodeMBps = harness.LoadsweepBenchPerNodeMBps
+)
+
+// Shard4kBench* pin the sharded-engine benchmark point shared by
+// BenchmarkShard4kNodes and the benchjson events_per_sec_4k_nodes
+// canary: uniform overload on a 4096-node torus, serial engine vs 64
+// shards (see internal/harness/shardbench.go for the regime).
+const (
+	Shard4kBenchNodes       = harness.Shard4kBenchNodes
+	Shard4kBenchShards      = harness.Shard4kBenchShards
+	Shard4kBenchWarm        = harness.Shard4kBenchWarm
+	Shard4kBenchMeasure     = harness.Shard4kBenchMeasure
+	Shard4kBenchPerNodeMBps = harness.Shard4kBenchPerNodeMBps
 )
 
 // SweepOptions selects what LoadSweep sweeps.

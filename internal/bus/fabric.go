@@ -61,6 +61,35 @@ type Fabric struct {
 	bridgeQ     sim.FIFO[postedWrite]
 	bridgeCond  *sim.Cond // signalled when bridgeQ gains an entry
 	bridgeSpace *sim.Cond // signalled when bridgeQ frees an entry
+
+	// txFree recycles transaction boxes: the Tx escapes through the
+	// SnoopTx interface call, so without a free list every coherent
+	// transaction costs one heap allocation (the steady-state alloc
+	// pin fails loudly). Depth equals the most transactions ever
+	// simultaneously in flight on this node's buses.
+	txFree []*Tx
+}
+
+// getTx pops a recycled Tx box (or allocates the pool's next slot)
+// and fills it with tx.
+func (f *Fabric) getTx(tx Tx) *Tx {
+	n := len(f.txFree)
+	if n == 0 {
+		t := new(Tx)
+		*t = tx
+		return t
+	}
+	t := f.txFree[n-1]
+	f.txFree = f.txFree[:n-1]
+	*t = tx
+	return t
+}
+
+// putTx returns a Tx box to the free list. The box must not be
+// referenced after the call; snoopers see it only during snoopAll.
+func (f *Fabric) putTx(t *Tx) {
+	t.Initiator = nil // drop the agent reference while pooled
+	f.txFree = append(f.txFree, t)
 }
 
 // NewFabric builds the bus complex. withIO adds the 50 MHz I/O bus and
@@ -147,6 +176,11 @@ func (f *Fabric) Do(p *sim.Process, tx Tx) Result {
 	initLoc := f.locOf(tx.Initiator)
 	crossing := initLoc == params.IOBus || region.Loc == params.IOBus
 
+	// The snoop phase hands the Tx across the SnoopTx interface, which
+	// forces it to the heap; route it through the free list so the box
+	// is recycled instead of allocated per transaction.
+	t := f.getTx(tx)
+
 	f.Mem.Acquire(p)
 	if crossing {
 		f.IO.Acquire(p)
@@ -155,9 +189,9 @@ func (f *Fabric) Do(p *sim.Process, tx Tx) Result {
 	// Snoop phase: every agent on every involved bus sees the
 	// transaction and updates its state before data moves.
 	home := region.Home
-	shared, supplier := f.Mem.snoopAll(&tx, home)
+	shared, supplier := f.Mem.snoopAll(t, home)
 	if crossing {
-		s2, sup2 := f.IO.snoopAll(&tx, home)
+		s2, sup2 := f.IO.snoopAll(t, home)
 		shared = shared || s2
 		if sup2 != nil {
 			supplier = sup2
@@ -209,6 +243,7 @@ func (f *Fabric) Do(p *sim.Process, tx Tx) Result {
 	}
 	f.Mem.Release()
 
+	f.putTx(t)
 	return Result{Shared: shared, Supplier: supplier.AgentClass()}
 }
 

@@ -43,6 +43,15 @@ type Injector struct {
 	f   params.Faults
 	rng uint64 // xorshift64* state, fault-private
 
+	// rngs, when non-nil (sharded machines), replaces the single rng
+	// with one independent stream per destination node: per-message
+	// plans are drawn at the destination edge, so per-destination
+	// streams make each node's draw sequence a function of its own
+	// delivery order alone — deterministic for any shard count, and
+	// race-free across shards. Serial machines keep the single stream
+	// byte-identically.
+	rngs []uint64
+
 	// Per-node schedules, resolved to index-addressed slices so the
 	// per-delivery checks are branch-plus-load, not list walks.
 	pauseFrom, pauseUntil []sim.Time // earliest pending pause window
@@ -118,12 +127,40 @@ func (in *Injector) nextPause(node int) {
 	in.pauseFrom[node], in.pauseUntil[node] = sim.Time(p.From), sim.Time(p.Until)
 }
 
-// rand returns the next fault draw in [0, 1).
-func (in *Injector) rand() float64 {
-	in.rng ^= in.rng >> 12
-	in.rng ^= in.rng << 25
-	in.rng ^= in.rng >> 27
-	return float64((in.rng*0x2545F4914F6CDD1D)>>11) / float64(1<<53)
+// Shard switches the injector to per-destination RNG streams for the
+// sharded engine (see the rngs field). Call before any draw.
+func (in *Injector) Shard() {
+	seed := in.f.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	in.rngs = make([]uint64, len(in.crashAt))
+	for d := range in.rngs {
+		// Per-destination stream: the same mix as the shared stream,
+		// further split by a destination-salted multiplier so nearby
+		// nodes start in distant states.
+		in.rngs[d] = (seed+uint64(d)*0x9E3779B97F4A7C15)*0xA24BAED4963EE407 + 0x9FB21C651E98DF25
+	}
+}
+
+// step advances one xorshift64* state and returns a draw in [0, 1).
+func step(s *uint64) float64 {
+	*s ^= *s >> 12
+	*s ^= *s << 25
+	*s ^= *s >> 27
+	return float64((*s*0x2545F4914F6CDD1D)>>11) / float64(1<<53)
+}
+
+// rand returns the next fault draw in [0, 1) from the shared stream.
+func (in *Injector) rand() float64 { return step(&in.rng) }
+
+// randAt returns the next fault draw for a message arriving at dst:
+// dst's own stream on a sharded machine, the shared stream otherwise.
+func (in *Injector) randAt(dst int) float64 {
+	if in.rngs != nil {
+		return step(&in.rngs[dst])
+	}
+	return in.rand()
 }
 
 // Plan draws the per-message fault decision for a (src, dst) network
@@ -132,69 +169,82 @@ func (in *Injector) rand() float64 {
 // configuration's draw sequence is stable.
 func (in *Injector) Plan(src, dst int) (pl Plan) {
 	f := &in.f
-	if f.DropProb > 0 && in.rand() < f.DropProb {
+	if f.DropProb > 0 && in.randAt(dst) < f.DropProb {
 		pl.Drop = true
 		in.drops.Inc()
 		return pl
 	}
-	if f.CorruptProb > 0 && in.rand() < f.CorruptProb {
+	if f.CorruptProb > 0 && in.randAt(dst) < f.CorruptProb {
 		pl.Corrupt = true
 		in.corrupted.Inc()
 		return pl
 	}
-	if f.DupProb > 0 && in.rand() < f.DupProb {
+	if f.DupProb > 0 && in.randAt(dst) < f.DupProb {
 		pl.Dup = true
 		in.dups.Inc()
 		return pl
 	}
-	if f.DelayProb > 0 && in.rand() < f.DelayProb {
+	if f.DelayProb > 0 && in.randAt(dst) < f.DelayProb {
 		pl.Delay = sim.Time(f.Delay())
 		in.delayed.Inc()
 	}
 	return pl
 }
 
-// inDegrade reports whether now falls in the degraded-link window.
-func (in *Injector) inDegrade() bool {
-	now := in.eng.Now()
+// inDegradeAt reports whether now falls in the degraded-link window.
+func (in *Injector) inDegradeAt(now sim.Time) bool {
 	return now >= sim.Time(in.f.DegradeFrom) && now < sim.Time(in.f.DegradeUntil)
 }
 
-// Latency scales a transit latency by the degraded-window multiplier
-// when the window is open.
-func (in *Injector) Latency(d sim.Time) sim.Time {
-	if in.inDegrade() {
+// LatencyAt scales a transit latency by the degraded-window multiplier
+// when the window is open at now (the observing shard's clock).
+func (in *Injector) LatencyAt(now, d sim.Time) sim.Time {
+	if in.inDegradeAt(now) {
 		return sim.Time(float64(d) * in.f.LatencyX())
 	}
 	return d
 }
 
-// Occupancy scales a link serialisation time by the degraded-window
-// bandwidth divisor when the window is open.
-func (in *Injector) Occupancy(d sim.Time) sim.Time {
-	if in.inDegrade() {
+// Latency is LatencyAt at the engine's current time (serial machines).
+func (in *Injector) Latency(d sim.Time) sim.Time { return in.LatencyAt(in.eng.Now(), d) }
+
+// OccupancyAt scales a link serialisation time by the degraded-window
+// bandwidth divisor when the window is open at now.
+func (in *Injector) OccupancyAt(now, d sim.Time) sim.Time {
+	if in.inDegradeAt(now) {
 		return sim.Time(float64(d) * in.f.BandwidthX())
 	}
 	return d
 }
 
-// Paused reports whether node's NI is inside a pause window now.
-// Expired windows are retired as a side effect, so the flat lookup
-// stays O(1) per call.
-func (in *Injector) Paused(node int) bool {
-	now := in.eng.Now()
+// Occupancy is OccupancyAt at the engine's current time.
+func (in *Injector) Occupancy(d sim.Time) sim.Time { return in.OccupancyAt(in.eng.Now(), d) }
+
+// PausedAt reports whether node's NI is inside a pause window at now
+// (the clock of the shard executing node — pause state is only ever
+// consulted from node's own shard). Expired windows are retired as a
+// side effect, so the flat lookup stays O(1) per call.
+func (in *Injector) PausedAt(node int, now sim.Time) bool {
 	for in.pauseUntil[node] != 0 && now >= in.pauseUntil[node] {
 		in.nextPause(node)
 	}
 	return in.pauseUntil[node] != 0 && now >= in.pauseFrom[node]
 }
 
+// Paused is PausedAt at the engine's current time (serial machines).
+func (in *Injector) Paused(node int) bool { return in.PausedAt(node, in.eng.Now()) }
+
 // PauseEnd returns when node's current pause window closes. Only
 // meaningful right after Paused(node) returned true.
 func (in *Injector) PauseEnd(node int) sim.Time { return in.pauseUntil[node] }
 
-// Crashed reports whether node's NI is dead now.
-func (in *Injector) Crashed(node int) bool { return in.eng.Now() >= in.crashAt[node] }
+// CrashedAt reports whether node's NI is dead at now (the observing
+// shard's clock; crash times are immutable after construction, so any
+// shard may ask).
+func (in *Injector) CrashedAt(node int, now sim.Time) bool { return now >= in.crashAt[node] }
+
+// Crashed is CrashedAt at the engine's current time (serial machines).
+func (in *Injector) Crashed(node int) bool { return in.CrashedAt(node, in.eng.Now()) }
 
 // NoteCrashDrop counts a message dropped because an end of its path
 // crashed; the fabric edge calls it alongside the drop.

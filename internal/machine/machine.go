@@ -66,10 +66,26 @@ type Machine struct {
 	Net   network.Interconnect
 	Nodes []*Node
 
+	// shards is the conservative-lookahead engine group, non-nil only
+	// when Cfg selects the sharded path (Shards >= 1, a torus, and more
+	// than 16 nodes — small machines and the flat network stay on the
+	// plain serial engine, byte-identically). When set, Eng is shard
+	// 0's engine and each node's components are bound to the engine
+	// owning that node.
+	shards *sim.ShardSet
+
 	// Rec/Smp are the telemetry recorder and sampler, nil unless
 	// Cfg.Trace activates them (internal/trace).
 	Rec *trace.Recorder
 	Smp *trace.Sampler
+}
+
+// useShards reports whether cfg selects the sharded engine: an
+// explicit Shards setting, a torus fabric (it defines the cross-shard
+// lookahead), and a machine big enough that the partition is
+// meaningful. Everything else runs the legacy serial engine.
+func useShards(cfg params.Config) bool {
+	return cfg.Shards >= 1 && cfg.Nodes > 16 && cfg.Topology == params.TopoTorus
 }
 
 // newInterconnect builds the fabric cfg.Topology selects.
@@ -86,24 +102,75 @@ func New(cfg params.Config) *Machine {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	eng := sim.NewEngine()
+	var shards *sim.ShardSet
+	var eng *sim.Engine
+	if useShards(cfg) {
+		// The torus's minimum cross-node delay is one hop's latency
+		// (the window-credit ack of a one-hop neighbour); link arrivals
+		// are slower still (occupancy + hop latency). That bound is the
+		// conservative lookahead.
+		shards = sim.NewShardSet(cfg.Nodes, cfg.Shards, sim.Time(params.TorusHopLatency))
+		eng = shards.Engine(0)
+	} else {
+		eng = sim.NewEngine()
+	}
 	st := sim.NewStats(eng)
 	m := &Machine{
-		Cfg:   cfg,
-		Eng:   eng,
-		Stats: st,
-		Net:   newInterconnect(cfg, eng, st),
+		Cfg:    cfg,
+		Eng:    eng,
+		Stats:  st,
+		shards: shards,
+		Net:    newInterconnect(cfg, eng, st),
+	}
+	if shards != nil {
+		m.Net.(*network.Torus).AttachShards(shards)
+		// Concurrent-mode stats for every sharded machine — including a
+		// single shard, which executes serially: the mode changes the
+		// histogram representation (empty-min sentinel, mode flag), and
+		// snapshots of a one-shard reference run must compare byte-equal
+		// against any other shard count.
+		st.MarkConcurrent()
 	}
 	if cfg.Faults.Injects() {
-		m.Net.AttachFaults(fault.New(eng, st, cfg.Nodes, cfg.Faults))
+		in := fault.New(eng, st, cfg.Nodes, cfg.Faults)
+		if shards != nil {
+			in.Shard()
+		}
+		m.Net.AttachFaults(in)
 	}
 	if cfg.Trace.Active() {
 		m.Rec = trace.NewRecorder(eng, cfg.Nodes, cfg.Trace.Ring())
+		if shards != nil {
+			m.Rec.Shard(shards)
+		}
 		m.Net.AttachTrace(m.Rec)
 	}
 	for id := 0; id < cfg.Nodes; id++ {
 		m.Nodes = append(m.Nodes, m.buildNode(id))
 	}
+	// Frames retire at the receiver, so per-node pools drain at every
+	// sender while a hotspot sink hoards boxes; pooling is shared at
+	// engine-ownership granularity instead. Get/put always run under
+	// the owning messenger's engine, so a pool may span exactly the
+	// nodes of one engine: the whole machine on the serial path, one
+	// shard each on the sharded path (engines run concurrently within
+	// an epoch and must never race on a pool).
+	if shards == nil {
+		fp := &msg.FramePool{}
+		for _, n := range m.Nodes {
+			n.Msgr.ShareFramePool(fp)
+		}
+	} else {
+		pools := make([]*msg.FramePool, len(shards.Engines()))
+		for id, n := range m.Nodes {
+			si := shards.ShardOf(id)
+			if pools[si] == nil {
+				pools[si] = &msg.FramePool{}
+			}
+			n.Msgr.ShareFramePool(pools[si])
+		}
+	}
+	st.SetEngine(eng)
 	if cfg.Trace.SampleEvery > 0 {
 		m.Smp = trace.NewSampler(eng, sim.Time(cfg.Trace.SampleEvery))
 		m.registerSamples()
@@ -168,26 +235,38 @@ func (m *Machine) registerSamples() {
 	}
 }
 
+// nodeEng returns the engine owning node id: the shard engine on a
+// sharded machine, the single engine otherwise.
+func (m *Machine) nodeEng(id int) *sim.Engine {
+	if m.shards != nil {
+		return m.shards.Engine(id)
+	}
+	return m.Eng
+}
+
 func (m *Machine) buildNode(id int) *Node {
 	cfg := m.Cfg
+	eng := m.nodeEng(id)
+	// Node-local busy trackers must read their own shard's clock.
+	m.Stats.SetEngine(eng)
 	name := fmt.Sprintf("node%d", id)
 	withIO := cfg.Bus == params.IOBus
-	fab := bus.NewFabric(m.Eng, m.Stats, name, withIO)
+	fab := bus.NewFabric(eng, m.Stats, name, withIO)
 	mem := cache.NewMemory(fab, name+".mem")
 	fab.AddRegion(bus.Region{
 		Name: name + ".dram", Base: DRAMBase, Size: DRAMSize,
 		Home: mem, Loc: params.MemoryBus, Cachable: true,
 	})
-	pc := cache.New(m.Eng, m.Stats, fab, name+".cache", params.ProcCacheBytes)
+	pc := cache.New(eng, m.Stats, fab, name+".cache", params.ProcCacheBytes)
 	pc.Snarf = cfg.Snarfing
-	cpu := proc.New(m.Eng, m.Stats, fab, pc, id, name+".cpu")
+	cpu := proc.New(eng, m.Stats, fab, pc, id, name+".cpu")
 
 	sendBase, recvBase := uint64(DevSendBase), uint64(DevRecvBase)
 	if cfg.NI.MemoryHomed() {
 		sendBase, recvBase = QmSendBase, QmRecvBase
 	}
 	ni := nic.New(nic.Deps{
-		Eng: m.Eng, Stats: m.Stats, Fabric: fab, CPU: cpu, Net: m.Net,
+		Eng: eng, Stats: m.Stats, Fabric: fab, CPU: cpu, Net: m.Net,
 		NodeID: id, Loc: cfg.Bus, Cfg: cfg,
 		SendQBase: sendBase, RecvQBase: recvBase, ShadowBase: ShadowBase,
 	})
@@ -210,12 +289,25 @@ func (m *Machine) buildNode(id int) *Node {
 	return &Node{ID: id, Fabric: fab, Mem: mem, Cache: pc, CPU: cpu, NI: ni, Msgr: msgr}
 }
 
-// Spawn starts body as node id's application process.
+// Spawn starts body as node id's application process (on the engine
+// owning that node).
 func (m *Machine) Spawn(id int, body func(p *sim.Process, n *Node)) {
 	n := m.Nodes[id]
-	m.Eng.Spawn(fmt.Sprintf("node%d.app", id), func(p *sim.Process) {
+	m.nodeEng(id).Spawn(fmt.Sprintf("node%d.app", id), func(p *sim.Process) {
 		body(p, n)
 	})
+}
+
+// Sharded reports whether this machine runs on the sharded engine.
+func (m *Machine) Sharded() bool { return m.shards != nil }
+
+// Now returns the current simulated time (after Run, the global
+// maximum across shards).
+func (m *Machine) Now() sim.Time {
+	if m.shards != nil {
+		return m.shards.Now()
+	}
+	return m.Eng.Now()
 }
 
 // Run drains the event queue (or stops at horizon) and returns the
@@ -226,11 +318,20 @@ func (m *Machine) Run(horizon sim.Time) sim.Time {
 	if m.Smp != nil {
 		m.Smp.Ensure()
 	}
+	if m.shards != nil {
+		return m.shards.Run(horizon)
+	}
 	return m.Eng.Run(horizon)
 }
 
 // Stop unwinds device processes; call once after Run.
-func (m *Machine) Stop() { m.Eng.Stop() }
+func (m *Machine) Stop() {
+	if m.shards != nil {
+		m.shards.Stop()
+		return
+	}
+	m.Eng.Stop()
+}
 
 // MemBusOccupancy returns total busy cycles summed over all nodes'
 // memory buses (§5.2's occupancy metric).

@@ -86,6 +86,19 @@ type Messenger struct {
 	// nil the message path is bit-identical to a pre-transport build.
 	rel *rel
 
+	// Free lists for the per-message boxes that escape through
+	// interface calls (frames through nic.NI, contexts through
+	// Handler): without them every user message costs several heap
+	// allocations, which the steady-state alloc pin forbids. Frames
+	// are pooled only on the fault-free path — with the transport on,
+	// an admitted frame lives in retransmit buffers past delivery and
+	// must stay heap-owned. Contexts and partials never outlive accept
+	// and pool unconditionally; free lists (not single slots) keep
+	// nested dispatch from a draining handler safe.
+	frames      *FramePool
+	partialFree []*partial
+	ctxFree     []*Context
+
 	// rec is the lifecycle recorder, nil unless the machine's trace
 	// configuration activates it (params.Trace.Active). Hooks behind
 	// nil checks, same contract as rel: nil is bit-identical to a
@@ -105,6 +118,7 @@ func New(node int, cpu *proc.CPU, ni nic.NI, st *sim.Stats, bufAddr uint64, n in
 		handlers:   make(map[int]Handler),
 		partial:    make(map[partialKey]*partial),
 		bufAddr:    bufAddr,
+		frames:     &FramePool{},
 		sendBlocks: st.Counter(prefix + ".send.block"),
 		swBuffered: st.Counter(prefix + ".swbuffered"),
 	}
@@ -187,7 +201,8 @@ func (ms *Messenger) sendFrags(p *sim.Process, dst, handler, size int, payload a
 		if f == frags-1 {
 			fsize = size - f*params.MaxPayloadBytes
 		}
-		m := &network.Msg{
+		m := ms.getMsg()
+		*m = network.Msg{
 			Src:        ms.node,
 			Dst:        dst,
 			Handler:    handler,
@@ -209,6 +224,7 @@ func (ms *Messenger) sendFrags(p *sim.Process, dst, handler, size int, payload a
 		}
 		for tries := 0; !ms.trySendFrame(p, m); tries++ {
 			if !block && f == 0 {
+				ms.putMsg(m) // refused before admission: the NI holds no reference
 				return false
 			}
 			ms.sendBlocks.Inc()
@@ -284,7 +300,43 @@ func (ms *Messenger) Poll(p *sim.Process) bool {
 		return ms.relDeliver(p, m)
 	}
 	ms.accept(p, m)
+	ms.putMsg(m) // fault-free path: nothing references the frame past accept
 	return true
+}
+
+// FramePool recycles network frame boxes across the messengers that
+// share it. Exactly one engine may touch a pool: serial machines
+// share one pool machine-wide (frames retire at the receiver, so
+// per-node pools would drain at every sender while a hotspot sink
+// hoards them), and sharded machines keep one pool per node so
+// concurrent shard engines never race on it.
+type FramePool struct{ free []*network.Msg }
+
+// ShareFramePool points the messenger at a shared pool; call before
+// any traffic.
+func (ms *Messenger) ShareFramePool(fp *FramePool) { ms.frames = fp }
+
+// getMsg pops a recycled frame box, or allocates one on a cold pool.
+func (ms *Messenger) getMsg() *network.Msg {
+	fp := ms.frames
+	n := len(fp.free)
+	if n == 0 {
+		return new(network.Msg)
+	}
+	m := fp.free[n-1]
+	fp.free = fp.free[:n-1]
+	return m
+}
+
+// putMsg recycles a dead frame. With the reliable transport active
+// frames outlive delivery in retransmit and reorder buffers, so the
+// pool is bypassed and the collector owns them as before.
+func (ms *Messenger) putMsg(m *network.Msg) {
+	if ms.rel != nil {
+		return
+	}
+	m.Payload = nil // don't pin user payloads while pooled
+	ms.frames.free = append(ms.frames.free, m)
 }
 
 // relDeliver runs a data frame through the receive-side transport:
@@ -307,7 +359,13 @@ func (ms *Messenger) accept(p *sim.Process, m *network.Msg) {
 	k := partialKey{m.Src, m.ID}
 	pa, ok := ms.partial[k]
 	if !ok {
-		pa = &partial{total: m.FragTotal, handler: m.Handler, payload: m.Payload, size: m.TotalBytes}
+		if n := len(ms.partialFree); n > 0 {
+			pa = ms.partialFree[n-1]
+			ms.partialFree = ms.partialFree[:n-1]
+		} else {
+			pa = new(partial)
+		}
+		*pa = partial{total: m.FragTotal, handler: m.Handler, payload: m.Payload, size: m.TotalBytes}
 		ms.partial[k] = pa
 	}
 	pa.got++
@@ -323,8 +381,31 @@ func (ms *Messenger) accept(p *sim.Process, m *network.Msg) {
 	if !ok {
 		panic(fmt.Sprintf("msg: node %d has no handler %d", ms.node, pa.handler))
 	}
+	src, size, payload := m.Src, pa.size, pa.payload
+	pa.payload = nil
+	ms.partialFree = append(ms.partialFree, pa)
 	ms.cpu.Compute(p, DispatchCycles)
-	h(&Context{P: p, CPU: ms.cpu, M: ms, Src: m.Src, Size: pa.size, Payload: pa.payload})
+	ctx := ms.getCtx()
+	*ctx = Context{P: p, CPU: ms.cpu, M: ms, Src: src, Size: size, Payload: payload}
+	h(ctx)
+	ms.putCtx(ctx)
+}
+
+// getCtx/putCtx recycle dispatch contexts. A Context is valid only
+// for the duration of the handler call; handlers copy what they keep.
+func (ms *Messenger) getCtx() *Context {
+	n := len(ms.ctxFree)
+	if n == 0 {
+		return new(Context)
+	}
+	c := ms.ctxFree[n-1]
+	ms.ctxFree = ms.ctxFree[:n-1]
+	return c
+}
+
+func (ms *Messenger) putCtx(c *Context) {
+	c.Payload = nil
+	ms.ctxFree = append(ms.ctxFree, c)
 }
 
 // PollUntil polls until pred is true, advancing simulated time each

@@ -40,12 +40,17 @@ func (ep *endpoints) passFaults(m *Msg) bool {
 		// as-is (never dropped, corrupted, or re-duplicated).
 		return true
 	}
-	if in.Crashed(m.Src) || in.Crashed(m.Dst) {
+	// Fault decisions execute on the destination's shard, so every
+	// clock comparison uses the destination engine's now (on a serial
+	// machine engAt is the one engine, byte-identically).
+	eng := ep.engAt(m.Dst)
+	now := eng.Now()
+	if in.CrashedAt(m.Src, now) || in.CrashedAt(m.Dst, now) {
 		in.NoteCrashDrop()
 		if ep.rec != nil {
 			ep.noteMsg(m.Dst, trace.KDrop, -1, m)
 		}
-		ep.creditDropped(m)
+		ep.scheduleAck(m)
 		return false
 	}
 	pl := in.Plan(m.Src, m.Dst)
@@ -53,7 +58,7 @@ func (ep *endpoints) passFaults(m *Msg) bool {
 		if ep.rec != nil {
 			ep.noteMsg(m.Dst, trace.KDrop, -1, m)
 		}
-		ep.creditDropped(m)
+		ep.scheduleAck(m)
 		return false
 	}
 	if pl.Corrupt {
@@ -62,25 +67,19 @@ func (ep *endpoints) passFaults(m *Msg) bool {
 	if pl.Dup {
 		d := *m
 		d.Dup = true
-		ep.eng.Schedule(0, func() { ep.arrive(&d) })
+		eng.Schedule(0, func() { ep.arrive(&d) })
 	}
 	if pl.Delay > 0 {
 		// Reordering: m lands Delay cycles late, behind messages that
 		// arrived after it. Push directly (re-entering arrive would
 		// draw a second fault plan for the same message).
-		ep.eng.Schedule(pl.Delay, func() {
+		eng.Schedule(pl.Delay, func() {
 			ep.arrivals[m.Dst].Push(m)
 			ep.drain(m.Dst)
 		})
 		return false
 	}
 	return true
-}
-
-// creditDropped returns the window credit of a message the fault
-// layer consumed, on the same schedule a delivered message would.
-func (ep *endpoints) creditDropped(m *Msg) {
-	ep.eng.Schedule(ep.ackLatency(m), ep.ackFns[m.Src*ep.n+m.Dst])
 }
 
 // stallPaused parks dst's arrival queue for the remainder of dst's
@@ -91,7 +90,7 @@ func (ep *endpoints) stallPaused(dst int) {
 		return
 	}
 	ep.pauseWake[dst] = true
-	ep.eng.ScheduleAt(ep.inj.PauseEnd(dst), func() {
+	ep.engAt(dst).ScheduleAt(ep.inj.PauseEnd(dst), func() {
 		ep.pauseWake[dst] = false
 		ep.drain(dst)
 	})
@@ -100,8 +99,8 @@ func (ep *endpoints) stallPaused(dst int) {
 // admitFaults stalls the sending device process while its own node is
 // paused — a paused NI neither delivers nor injects.
 func (ep *endpoints) admitFaults(p *sim.Process, m *Msg) {
-	for ep.inj.Paused(m.Src) {
+	for ep.inj.PausedAt(m.Src, p.Now()) {
 		ep.inj.NotePaused()
-		p.Sleep(ep.inj.PauseEnd(m.Src) - ep.eng.Now())
+		p.Sleep(ep.inj.PauseEnd(m.Src) - p.Now())
 	}
 }

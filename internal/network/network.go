@@ -70,6 +70,14 @@ type Msg struct {
 	// edge: duplicates return no window credit and are never re-planned
 	// for faults.
 	Dup bool
+
+	// xkey is the sharded engine's deterministic merge tiebreak,
+	// assigned per admission (sharded machines only): the source node
+	// in the high bits over a per-source monotonic stamp. Every cross-
+	// shard event derived from this message carries it by value, so
+	// (time, xkey, kind) totally orders cross events independently of
+	// shard count. Zero on serial machines.
+	xkey uint64
 }
 
 // MsgBlocks returns the queue blocks consumed by a network message
@@ -188,6 +196,60 @@ type endpoints struct {
 	// pauseWake[dst] records that a drain-retry event is already
 	// scheduled for dst's current pause window.
 	pauseWake []bool
+
+	// sh is the sharded engine coordinator, nil on serial machines —
+	// the serial path pays one nil check per hook site and is
+	// byte-identical to a build without the sharded layer. When set,
+	// eng is shard 0's engine and per-node work runs on engAt(node).
+	sh *sim.ShardSet
+	// stamp[src] is the per-source admission counter behind Msg.xkey
+	// (sharded machines only). Written only at admission, which runs
+	// on src's shard.
+	stamp []uint64
+}
+
+// Cross-event kinds routed through sim.ShardSet (sharded machines).
+const (
+	xkArrive = iota // torus link arrival: Msg lands at Node for routing
+	xkAck           // window-credit return for slot (Node, Aux)
+)
+
+// engAt returns the engine owning node: the single engine on a serial
+// machine, node's shard engine on a sharded one.
+func (ep *endpoints) engAt(node int) *sim.Engine {
+	if ep.sh == nil {
+		return ep.eng
+	}
+	return ep.sh.Engine(node)
+}
+
+// attachShards switches the edge to sharded operation. The embedding
+// fabric wires the dispatch side.
+func (ep *endpoints) attachShards(sh *sim.ShardSet) {
+	ep.sh = sh
+	ep.stamp = make([]uint64, ep.n)
+}
+
+// scheduleAck returns m's window credit to the sender after the ack
+// latency. On a sharded machine a cross-node credit travels through
+// the deterministic-merge inboxes to the source's shard (the window
+// state and any process blocked on it live there); same-node credits,
+// and everything on a serial machine, schedule locally. The ack event
+// carries the slot in (Node, Aux) rather than holding m, whose buffer
+// the transport may recycle once delivery completes.
+func (ep *endpoints) scheduleAck(m *Msg) {
+	if ep.sh != nil && m.Src != m.Dst {
+		eng := ep.sh.Engine(m.Dst)
+		ep.sh.Cross(m.Dst, sim.CrossEvent{
+			At:   eng.Now() + ep.ackLatency(m),
+			Key:  m.xkey<<1 | 1,
+			Kind: xkAck,
+			Node: int32(m.Src),
+			Aux:  int32(m.Dst),
+		})
+		return
+	}
+	ep.engAt(m.Dst).Schedule(ep.ackLatency(m), ep.ackFns[m.Src*ep.n+m.Dst])
 }
 
 // init wires the shared edge state for n nodes.
@@ -244,7 +306,15 @@ func (ep *endpoints) admit(p *sim.Process, m *Msg) {
 	ep.inFlight[slot]++
 	ep.msgs.Inc()
 	ep.bytes.Add(uint64(m.Size + params.HeaderBytes))
-	m.SentAt = ep.eng.Now()
+	m.SentAt = p.Now()
+	if ep.sh != nil {
+		// The merge tiebreak: source node over a per-source monotonic
+		// stamp, assigned on the source's shard. Re-admissions (the
+		// transport's retransmits) re-stamp; in-flight cross events
+		// copied the old value and are unaffected.
+		ep.stamp[m.Src]++
+		m.xkey = uint64(m.Src+1)<<40 | ep.stamp[m.Src]&(1<<40-1)
+	}
 	if ep.rec != nil {
 		ep.noteMsg(m.Src, trace.KAdmit, -1, m)
 	}
@@ -261,7 +331,7 @@ func (ep *endpoints) arrive(m *Msg) {
 
 // drain offers queued messages to the port in order until it refuses.
 func (ep *endpoints) drain(dst int) {
-	if ep.inj != nil && ep.inj.Paused(dst) {
+	if ep.inj != nil && ep.inj.PausedAt(dst, ep.engAt(dst).Now()) {
 		ep.stallPaused(dst)
 		return
 	}
@@ -281,9 +351,9 @@ func (ep *endpoints) drain(dst int) {
 			// credit; a duplicate must not return it twice.
 			continue
 		}
-		ep.deliveryHist.Record(ep.eng.Now() - m.SentAt)
+		ep.deliveryHist.Record(ep.engAt(dst).Now() - m.SentAt)
 		// Return the window credit to the sender after the ack latency.
-		ep.eng.Schedule(ep.ackLatency(m), ep.ackFns[m.Src*ep.n+m.Dst])
+		ep.scheduleAck(m)
 	}
 }
 

@@ -66,6 +66,13 @@ type Torus struct {
 	busyBits   []uint64
 	queues     []sim.FIFO[*Msg]
 	releaseFns []func()
+	// busyB replaces the bitset on sharded machines (allocated by
+	// AttachShards): a bitset word packs 64 links, so two shards
+	// flipping bits in the same word would be a read-modify-write race.
+	// One byte per link keeps each byte single-writer (a link's busy
+	// state is only touched by the shard owning its router); serial
+	// machines keep the denser bitset.
+	busyB []uint8
 	// flight[li] holds serialised messages in hop-latency flight;
 	// constant per-link delay means arrivals fire in transmit order,
 	// landed by the pre-built arriveFns (fault-free path only).
@@ -188,6 +195,32 @@ func (t *Torus) neighbor(node, dir int) int {
 	return y*t.w + x
 }
 
+// AttachShards switches the torus to the sharded conservative-
+// lookahead engine: link releases stay on the owning node's shard
+// (claiming a link, queueing behind it, and freeing it are all local
+// to its router), while link arrivals and cross-node window credits
+// travel through the coordinator's deterministic-merge inboxes. The
+// minimum cross event delay — a credit's one-hop latency — equals the
+// hop latency, which is exactly the ShardSet's lookahead.
+//
+// Every link arrival is routed through the inboxes even when both
+// routers share a shard: the canonical (time, key) merge order must
+// not depend on where the shard boundaries fall, or the shard count
+// would change results.
+func (t *Torus) AttachShards(sh *sim.ShardSet) {
+	t.attachShards(sh)
+	t.busyB = make([]uint8, t.n*numDirs)
+	sh.SetDispatch(func(ev *sim.CrossEvent) {
+		if ev.Kind == xkAck {
+			slot := int(ev.Node)*t.n + int(ev.Aux)
+			t.inFlight[slot]--
+			t.windowFree[slot].Signal()
+			return
+		}
+		t.forward(ev.Msg.(*Msg), int(ev.Node))
+	})
+}
+
 // AttachFaults hooks the injector in and switches the links to
 // per-message arrival bookkeeping (see the fault-mode fields).
 func (t *Torus) AttachFaults(in *fault.Injector) {
@@ -244,6 +277,23 @@ func (t *Torus) transmit(li int, m *Msg) {
 		t.faultTransmit(li, m)
 		return
 	}
+	if t.sh != nil {
+		// Sharded: the release is local to the link's router; the
+		// arrival crosses to the downstream router's shard carrying the
+		// message itself (the flight ring cannot be popped from another
+		// shard). Transmit runs on the owner's shard, so its engine is
+		// the current one.
+		eng := t.sh.Engine(li / numDirs)
+		eng.Schedule(t.occupancy, t.releaseFns[li])
+		t.sh.Cross(li/numDirs, sim.CrossEvent{
+			At:   eng.Now() + t.occupancy + t.hopLat,
+			Key:  m.xkey << 1,
+			Kind: xkArrive,
+			Node: t.downstream[li],
+			Msg:  m,
+		})
+		return
+	}
 	t.flight[li].Push(m)
 	t.eng.Schedule(t.occupancy, t.releaseFns[li])
 	t.eng.Schedule(t.occupancy+t.hopLat, t.arriveFns[li])
@@ -285,10 +335,30 @@ func (t *Torus) LinkName(li int) string {
 	return fmt.Sprintf("n%d.%s", li/numDirs, dirs[li%numDirs])
 }
 
-// busy reports / sets / clears link li's bit in the busy bitset.
-func (t *Torus) busy(li int) bool { return t.busyBits[li>>6]&(1<<(li&63)) != 0 }
-func (t *Torus) setBusy(li int)   { t.busyBits[li>>6] |= 1 << (li & 63) }
-func (t *Torus) clearBusy(li int) { t.busyBits[li>>6] &^= 1 << (li & 63) }
+// busy reports / sets / clears link li's busy state: one byte per
+// link on sharded machines, a bit in the packed bitset otherwise.
+func (t *Torus) busy(li int) bool {
+	if t.busyB != nil {
+		return t.busyB[li] != 0
+	}
+	return t.busyBits[li>>6]&(1<<(li&63)) != 0
+}
+
+func (t *Torus) setBusy(li int) {
+	if t.busyB != nil {
+		t.busyB[li] = 1
+		return
+	}
+	t.busyBits[li>>6] |= 1 << (li & 63)
+}
+
+func (t *Torus) clearBusy(li int) {
+	if t.busyB != nil {
+		t.busyB[li] = 0
+		return
+	}
+	t.busyBits[li>>6] &^= 1 << (li & 63)
+}
 
 // faultTransmit is transmit's fault-mode tail: the degrade window
 // scales occupancy and hop latency per message, so the flight ring
@@ -296,12 +366,24 @@ func (t *Torus) clearBusy(li int) { t.busyBits[li>>6] &^= 1 << (li & 63) }
 // the arrival is carried in a pending entry drained by the pre-built
 // per-link fn — no per-message closure.
 func (t *Torus) faultTransmit(li int, m *Msg) {
-	occ := t.inj.Occupancy(t.occupancy)
+	eng := t.engAt(li / numDirs)
+	now := eng.Now()
+	occ := t.inj.OccupancyAt(now, t.occupancy)
 	next := int(t.downstream[li])
-	t.eng.Schedule(occ, t.releaseFns[li])
-	at := t.eng.Now() + occ + t.inj.Latency(t.hopLat)
+	eng.Schedule(occ, t.releaseFns[li])
+	at := now + occ + t.inj.LatencyAt(now, t.hopLat)
+	if t.sh != nil {
+		// Sharded fault mode: the arrival crosses like the fault-free
+		// path; the destination shard's (time, key) pending heap plays
+		// the per-link pending list's role.
+		t.sh.Cross(li/numDirs, sim.CrossEvent{
+			At: at, Key: m.xkey << 1, Kind: xkArrive,
+			Node: t.downstream[li], Msg: m,
+		})
+		return
+	}
 	t.pending[li] = append(t.pending[li], pendTx{m, next, at})
-	t.eng.ScheduleAt(at, t.faultArriveFns[li])
+	eng.ScheduleAt(at, t.faultArriveFns[li])
 }
 
 // faultArrive lands the pending transmission whose arrival event is

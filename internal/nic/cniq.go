@@ -38,24 +38,24 @@ type cniq struct {
 	entries  int // entries per direction
 
 	// ---- send queue: processor produces, device consumes ----
-	sendTailPos   uint64          // software tail (monotonic)
-	sendShadow    uint64          // software shadow of the device head
-	sendHeadPos   uint64          // device head (monotonic)
-	sendStageQ    []*network.Msg  // committed by software, awaiting RegWrite
-	sendCommitted []*network.Msg  // message-ready received, awaiting pull
-	sendPulled    map[uint64]bool // block already at the device (hint pull / WB)
-	sendHints     []uint64        // virtual-polling pull hints (block addrs)
-	injectFIFO    []*network.Msg
+	sendTailPos   uint64                 // software tail (monotonic)
+	sendShadow    uint64                 // software shadow of the device head
+	sendHeadPos   uint64                 // device head (monotonic)
+	sendStageQ    sim.FIFO[*network.Msg] // committed by software, awaiting RegWrite
+	sendCommitted sim.FIFO[*network.Msg] // message-ready received, awaiting pull
+	sendPulled    map[uint64]bool        // block already at the device (hint pull / WB)
+	sendHints     sim.FIFO[uint64]       // virtual-polling pull hints (block addrs)
+	injectFIFO    sim.FIFO[*network.Msg]
 	sendWork      *sim.Cond
 	injectWork    *sim.Cond
 	injectSpace   *sim.Cond
 
 	// ---- receive queue: device produces, processor consumes ----
-	recvTailPos  uint64         // device tail (monotonic)
-	recvShadow   uint64         // device shadow of the processor head
-	recvProcHead uint64         // processor head (monotonic)
-	recvStage    []*network.Msg // accepted from the wire, awaiting entry write
-	recvEntries  []*network.Msg // visible to the processor
+	recvTailPos  uint64                 // device tail (monotonic)
+	recvShadow   uint64                 // device shadow of the processor head
+	recvProcHead uint64                 // processor head (monotonic)
+	recvStage    sim.FIFO[*network.Msg] // accepted from the wire, awaiting entry write
+	recvEntries  sim.FIFO[*network.Msg] // visible to the processor
 	recvWork     *sim.Cond
 	recvHeadMove *sim.Cond // snooped CRI on the head-pointer block
 
@@ -205,7 +205,7 @@ func (n *cniq) virtualPollHint(addr uint64) {
 	}
 	prev := addr - params.BlockBytes
 	if !n.sendPulled[prev] {
-		n.sendHints = append(n.sendHints, prev)
+		n.sendHints.Push(prev)
 		n.sendWork.Signal()
 	}
 }
@@ -228,11 +228,10 @@ func (n *cniq) RegWrite(reg, val uint64) {
 	if reg != RegSendCommit {
 		return
 	}
-	if len(n.sendStageQ) == 0 {
+	if n.sendStageQ.Len() == 0 {
 		panic("cniq: message-ready with no staged message")
 	}
-	n.sendCommitted = append(n.sendCommitted, n.sendStageQ[0])
-	n.sendStageQ = n.sendStageQ[1:]
+	n.sendCommitted.Push(n.sendStageQ.Pop())
 	n.sendWork.Signal()
 }
 
@@ -268,7 +267,7 @@ func (n *cniq) TrySend(p *sim.Process, m *network.Msg) bool {
 	// Advance the private tail (hit) and signal message-ready.
 	cpu.Store(p, n.d.ShadowBase+8)
 	n.sendTailPos++
-	n.sendStageQ = append(n.sendStageQ, m)
+	n.sendStageQ.Push(m)
 	cpu.UncachedStore(p, n, RegSendCommit, 1)
 	n.ctr.sendMsg.Inc()
 	return true
@@ -279,9 +278,8 @@ func (n *cniq) TrySend(p *sim.Process, m *network.Msg) bool {
 // advancing the send head pointer.
 func (n *cniq) sendEngine(p *sim.Process) {
 	for {
-		if len(n.sendHints) > 0 {
-			addr := n.sendHints[0]
-			n.sendHints = n.sendHints[1:]
+		if n.sendHints.Len() > 0 {
+			addr := n.sendHints.Pop()
 			if !n.sendPulled[addr] {
 				n.d.Fabric.Do(p, bus.Tx{Kind: bus.CR, Addr: addr, Initiator: n})
 				n.sendPulled[addr] = true
@@ -289,11 +287,11 @@ func (n *cniq) sendEngine(p *sim.Process) {
 			}
 			continue
 		}
-		if len(n.sendCommitted) == 0 {
+		if n.sendCommitted.Len() == 0 {
 			n.sendWork.Wait(p)
 			continue
 		}
-		m := n.sendCommitted[0]
+		m := n.sendCommitted.Peek()
 		for b := 0; b < m.Blocks; b++ {
 			addr := n.sendEntryAddr(n.sendHeadPos, b)
 			if !n.sendPulled[addr] {
@@ -305,11 +303,11 @@ func (n *cniq) sendEngine(p *sim.Process) {
 		for b := 0; b < params.BlocksPerNetMsg; b++ {
 			delete(n.sendPulled, n.sendEntryAddr(n.sendHeadPos, b))
 		}
-		n.sendCommitted = n.sendCommitted[1:]
-		for len(n.injectFIFO) >= injectFIFOCap {
+		n.sendCommitted.Pop()
+		for n.injectFIFO.Len() >= injectFIFOCap {
 			n.injectSpace.Wait(p)
 		}
-		n.injectFIFO = append(n.injectFIFO, m)
+		n.injectFIFO.Push(m)
 		n.injectWork.Signal()
 		n.sendHeadPos++
 		n.publishPointer(p, n.sendHeadAddr())
@@ -333,22 +331,22 @@ func (n *cniq) publishPointer(p *sim.Process, addr uint64) {
 // injector drains the inject FIFO into the network.
 func (n *cniq) injector(p *sim.Process) {
 	for {
-		for len(n.injectFIFO) == 0 {
+		for n.injectFIFO.Len() == 0 {
 			n.injectWork.Wait(p)
 		}
-		m := n.injectFIFO[0]
+		m := n.injectFIFO.Peek()
 		n.d.Net.Inject(p, m)
-		n.injectFIFO = n.injectFIFO[1:]
+		n.injectFIFO.Pop()
 		n.injectSpace.Signal()
 	}
 }
 
 // NetDeliver implements network.Port: accept into the landing buffers.
 func (n *cniq) NetDeliver(m *network.Msg) bool {
-	if len(n.recvStage) >= recvStageCap {
+	if n.recvStage.Len() >= recvStageCap {
 		return false
 	}
-	n.recvStage = append(n.recvStage, m)
+	n.recvStage.Push(m)
 	n.recvWork.Signal()
 	return true
 }
@@ -359,11 +357,11 @@ func (n *cniq) NetDeliver(m *network.Msg) bool {
 // valid word last.
 func (n *cniq) recvEngine(p *sim.Process) {
 	for {
-		if len(n.recvStage) == 0 {
+		if n.recvStage.Len() == 0 {
 			n.recvWork.Wait(p)
 			continue
 		}
-		m := n.recvStage[0]
+		m := n.recvStage.Peek()
 		for n.recvTailPos-n.recvShadow >= uint64(n.entries) {
 			// Shadow says full: refresh by reading the processor's head
 			// pointer block (lazy pointers, device side).
@@ -396,8 +394,8 @@ func (n *cniq) recvEngine(p *sim.Process) {
 		if n.d.Cfg.UpdateProtocol {
 			n.pushUpdate(p, n.recvEntryAddr(n.recvTailPos, 0))
 		}
-		n.recvStage = n.recvStage[1:]
-		n.recvEntries = append(n.recvEntries, m)
+		n.recvStage.Pop()
+		n.recvEntries.Push(m)
 		n.recvTailPos++
 		n.d.Net.Unblock(n.d.NodeID)
 	}
@@ -460,11 +458,11 @@ func (n *cniq) TryRecv(p *sim.Process) *network.Msg {
 	} else {
 		cpu.Load(p, n.recvEntryAddr(n.recvProcHead, 0))
 	}
-	if len(n.recvEntries) == 0 {
+	if n.recvEntries.Len() == 0 {
 		n.ctr.recvPollEmpty.Inc()
 		return nil
 	}
-	m := n.recvEntries[0]
+	m := n.recvEntries.Peek()
 	// Read the rest of the message: remainder of block 0, then the
 	// other blocks (one miss each, supplied by the device or memory).
 	first := m.Size + params.HeaderBytes
@@ -489,7 +487,7 @@ func (n *cniq) TryRecv(p *sim.Process) *network.Msg {
 		// reverse eliminates).
 		cpu.Store(p, n.recvEntryAddr(n.recvProcHead, 0))
 	}
-	n.recvEntries = n.recvEntries[1:]
+	n.recvEntries.Pop()
 	n.recvProcHead++
 	// Advance the head pointer (a hit while the device isn't looking;
 	// one CRI per device refresh otherwise).

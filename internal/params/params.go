@@ -783,6 +783,17 @@ type Config struct {
 	// adds link contention and per-hop latency.
 	Topology Topology
 
+	// Shards, when >= 1, runs the machine on the sharded
+	// conservative-lookahead event engine with that many shards
+	// (clamped to the node count): nodes partition into contiguous
+	// groups, each with its own event heap, synchronised in epochs of
+	// the torus hop latency (DESIGN.md §14). Results are byte-identical
+	// for every Shards >= 1 value. Sharding applies only to torus
+	// machines with more than 16 nodes; Flat and all paper-scale
+	// (<= 16 node) runs always use the serial engine, byte-identically
+	// to Shards == 0. The zero value is the serial engine everywhere.
+	Shards int
+
 	// Snarfing enables data snarfing on the processor cache: the cache
 	// loads a block from an observed writeback when it has a matching
 	// tag in Invalid state (§5.1.2, CNI16Qm only in the paper).
@@ -847,6 +858,12 @@ func (c Config) Validate() error {
 	}
 	if c.Topology != TopoFlat && c.Topology != TopoTorus {
 		return fmt.Errorf("params: unknown topology %v", c.Topology)
+	}
+	if c.Shards < 0 {
+		return fmt.Errorf("params: Shards must be >= 0, have %d", c.Shards)
+	}
+	if c.Shards > 1 && c.Trace.SampleEvery > 0 {
+		return fmt.Errorf("params: the trace sampler reads cross-shard gauges and needs a single event loop; use Shards <= 1 with Trace.SampleEvery")
 	}
 	if c.Workload != nil {
 		if err := c.Workload.Validate(); err != nil {

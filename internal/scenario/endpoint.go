@@ -32,7 +32,9 @@ type Message struct {
 // guard against the node's own sends.
 type Handler func(d *Delivery)
 
-// Delivery is what a Handler receives.
+// Delivery is what a Handler receives. It is valid only for the
+// duration of the handler call (the box is recycled afterwards);
+// handlers copy the fields they keep.
 type Delivery struct {
 	// EP is the receiving node's endpoint; handler code uses it to
 	// reply, compute, or touch memory at the receiver's cost.
@@ -56,13 +58,26 @@ type Endpoint struct {
 	p    *sim.Process // bound while the node's scenario body runs
 
 	inbox sim.FIFO[Message]
+
+	// dlvFree recycles Delivery boxes, which escape through the
+	// Handler interface — one per dispatched user message otherwise.
+	// A free list (not a single slot) keeps a handler that drains
+	// nested deliveries safe.
+	dlvFree []*Delivery
 }
 
 // ID returns the node id.
 func (ep *Endpoint) ID() int { return ep.node.ID }
 
-// Clock returns the current simulated time in cycles.
-func (ep *Endpoint) Clock() sim.Time { return ep.m.Clock() }
+// Clock returns the current simulated time in cycles — the node's own
+// shard clock on a sharded machine (the only clock its process can
+// coherently observe mid-run).
+func (ep *Endpoint) Clock() sim.Time {
+	if ep.p != nil {
+		return ep.p.Now()
+	}
+	return ep.m.Clock()
+}
 
 // Handle installs h for active-message handler id. Handlers must be
 // installed before traffic with that id arrives; re-installation
@@ -73,7 +88,17 @@ func (ep *Endpoint) Handle(id int, h Handler) {
 		panic(fmt.Sprintf("scenario: handler id %d is reserved for the endpoint inbox", inboxHandler))
 	}
 	ep.node.Msgr.Register(id, func(c *msg.Context) {
-		h(&Delivery{EP: ep, Src: c.Src, Size: c.Size, Payload: c.Payload})
+		var d *Delivery
+		if n := len(ep.dlvFree); n > 0 {
+			d = ep.dlvFree[n-1]
+			ep.dlvFree = ep.dlvFree[:n-1]
+		} else {
+			d = new(Delivery)
+		}
+		*d = Delivery{EP: ep, Src: c.Src, Size: c.Size, Payload: c.Payload}
+		h(d)
+		d.Payload = nil
+		ep.dlvFree = append(ep.dlvFree, d)
 	})
 }
 

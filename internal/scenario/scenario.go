@@ -64,8 +64,13 @@ func (m *Machine) Nodes() int { return len(m.eps) }
 // Endpoint returns node id's endpoint.
 func (m *Machine) Endpoint(id int) *Endpoint { return m.eps[id] }
 
-// Clock returns the current simulated time in cycles.
-func (m *Machine) Clock() sim.Time { return m.m.Eng.Now() }
+// Clock returns the current simulated time in cycles (on a sharded
+// machine, the global time of the last barrier alignment).
+func (m *Machine) Clock() sim.Time { return m.m.Now() }
+
+// Sharded reports whether the machine runs on the sharded
+// conservative-lookahead engine (params.Config.Shards).
+func (m *Machine) Sharded() bool { return m.m.Sharded() }
 
 // BusOccupancy returns total busy cycles summed over all nodes'
 // memory buses since construction (§5.2's occupancy metric). It may
@@ -78,6 +83,17 @@ func (m *Machine) Counter(name string) uint64 { return m.m.Stats.Get(name) }
 
 // Stats exposes the underlying statistics sink for diagnostic dumps.
 func (m *Machine) Stats() *sim.Stats { return m.m.Stats }
+
+// Advance continues a horizon-stopped machine to a later horizon with
+// no scenario bookkeeping — no spawns, counter snapshots, or trace
+// deltas. It is the stepping primitive the steady-state allocation
+// pins drive windows with; measurement runs use RunUntil.
+func (m *Machine) Advance(horizon sim.Time) { m.m.Run(horizon) }
+
+// EventsScheduled returns how many events the machine's engine has
+// scheduled since construction (shard 0's engine on a sharded
+// machine).
+func (m *Machine) EventsScheduled() uint64 { return m.m.Eng.Scheduled() }
 
 // Close unwinds the machine's device processes. Call once, after the
 // final Run.
@@ -131,7 +147,7 @@ func (m *Machine) RunUntil(s *Scenario, horizon sim.Time) *Trace {
 		}
 		seen[pr.node] = true
 	}
-	start := m.m.Eng.Now()
+	start := m.m.Now()
 	startBus := m.m.MemBusOccupancy()
 	startCounters := m.snapshot()
 	startHists := make(map[string]sim.Histogram)

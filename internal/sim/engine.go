@@ -133,6 +133,11 @@ func (e *Engine) Now() Time { return e.now }
 // Pending reports the number of scheduled events.
 func (e *Engine) Pending() int { return e.events.len() }
 
+// Scheduled reports the number of events ever scheduled on this
+// engine — the denominator for per-event cost accounting (the
+// steady-state allocation pins divide by it).
+func (e *Engine) Scheduled() uint64 { return e.seq }
+
 // Schedule runs fn after delay cycles. A delay of zero runs fn after
 // all work at the current instant that was scheduled earlier.
 func (e *Engine) Schedule(delay Time, fn func()) {
@@ -193,6 +198,37 @@ func (e *Engine) Run(horizon Time) Time {
 
 // RunAll executes events until none remain.
 func (e *Engine) RunAll() Time { return e.Run(Forever) }
+
+// nextAt returns the time of the earliest pending event, or Forever
+// when the heap is empty. The sharded coordinator reads it at epoch
+// barriers to size the next conservative window.
+func (e *Engine) nextAt() Time {
+	if e.events.len() == 0 {
+		return Forever
+	}
+	return e.events.a[0].at
+}
+
+// pushCross enqueues an event with an externally assigned sequence
+// number. The sharded coordinator materialises cross-shard events with
+// ranks above every engine-local sequence (shard.go's class-1 band),
+// so the merged (time, seq) order is identical for any shard count.
+func (e *Engine) pushCross(at Time, seq uint64, fn func()) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: cross event at %d before now %d", at, e.now))
+	}
+	e.events.push(event{at: at, seq: seq, fn: fn})
+}
+
+// advanceTo moves the clock forward to t without dispatching events.
+// The sharded coordinator aligns every shard's clock to the global
+// maximum after a run, so Now-based telemetry (busy trackers, trace
+// spans) reads one consistent end time.
+func (e *Engine) advanceTo(t Time) {
+	if t > e.now {
+		e.now = t
+	}
+}
 
 // Stop unwinds every parked process goroutine and marks the engine
 // dead. It must be called after Run returns (never from inside the

@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"math/bits"
+	"sync/atomic"
 )
 
 // Histogram bucket geometry. Values below histLinear are recorded
@@ -27,12 +28,31 @@ const (
 // distribution.
 //
 // The zero value is an empty histogram ready for use.
+//
+// In concurrent mode (Stats.MarkConcurrent, set by sharded machines)
+// Record uses atomic adds and min/max compare-and-swap loops: every
+// accumulated quantity is order-independent, so a concurrent run's
+// totals are byte-identical to the same observations recorded
+// serially. Readers (quantiles, merges, snapshots) remain
+// single-threaded, as they are on the serial path.
 type Histogram struct {
 	count   uint64
 	sum     uint64
 	min     Time
 	max     Time
 	buckets [histBuckets]uint64
+
+	concurrent bool
+}
+
+// markConcurrent switches Record to the atomic path. The min field
+// needs a sentinel: serial Record detects "first observation" via
+// count == 0, which races under concurrent recording.
+func (h *Histogram) markConcurrent() {
+	h.concurrent = true
+	if h.count == 0 {
+		h.min = ^Time(0)
+	}
 }
 
 // bucketIndex maps a value to its bucket.
@@ -60,6 +80,10 @@ func bucketBounds(i int) (lo, hi uint64) {
 
 // Record adds one observation. It never allocates.
 func (h *Histogram) Record(v Time) {
+	if h.concurrent {
+		h.recordConcurrent(v)
+		return
+	}
 	if h.count == 0 || v < h.min {
 		h.min = v
 	}
@@ -69,6 +93,27 @@ func (h *Histogram) Record(v Time) {
 	h.count++
 	h.sum += uint64(v)
 	h.buckets[bucketIndex(uint64(v))]++
+}
+
+// recordConcurrent is Record for shards recording on concurrent
+// goroutines. min starts at the markConcurrent sentinel (all ones),
+// so the empty case needs no special path.
+func (h *Histogram) recordConcurrent(v Time) {
+	for {
+		cur := atomic.LoadUint64((*uint64)(&h.min))
+		if uint64(v) >= cur || atomic.CompareAndSwapUint64((*uint64)(&h.min), cur, uint64(v)) {
+			break
+		}
+	}
+	for {
+		cur := atomic.LoadUint64((*uint64)(&h.max))
+		if uint64(v) <= cur || atomic.CompareAndSwapUint64((*uint64)(&h.max), cur, uint64(v)) {
+			break
+		}
+	}
+	atomic.AddUint64(&h.count, 1)
+	atomic.AddUint64(&h.sum, uint64(v))
+	atomic.AddUint64(&h.buckets[bucketIndex(uint64(v))], 1)
 }
 
 // Count returns the number of recorded observations.
@@ -96,15 +141,19 @@ func (h *Histogram) Mean() float64 {
 // Quantile returns the q-quantile (q in [0,1]) by linear interpolation
 // inside the bucket holding the target rank, clamped to the exact
 // min/max. The relative error bound is 1/histLinear (6.25%).
+//
+// Edge behaviour is exact, never interpolated: an empty histogram
+// returns 0 for any q, q <= 0 (and NaN) returns Min(), and q >= 1
+// returns Max().
 func (h *Histogram) Quantile(q float64) Time {
 	if h.count == 0 {
 		return 0
 	}
-	if q <= 0 {
-		return h.min
-	}
 	if q >= 1 {
 		return h.max
+	}
+	if !(q > 0) { // q <= 0, and NaN (every comparison with NaN is false)
+		return h.min
 	}
 	target := uint64(q*float64(h.count)) + 1
 	if target > h.count {

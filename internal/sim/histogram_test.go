@@ -76,6 +76,48 @@ func TestHistogramEmpty(t *testing.T) {
 	}
 }
 
+// TestHistogramQuantileEdges pins the bug-sweep contract for the
+// quantile edges: q <= 0 (and NaN) returns Min(), q >= 1 returns
+// Max(), an empty histogram returns zero for every q, and no answer
+// interpolates off a bucket edge past the exactly-tracked extremes.
+func TestHistogramQuantileEdges(t *testing.T) {
+	nan := math.NaN()
+	cases := []struct {
+		name   string
+		values []Time
+		q      float64
+		want   Time
+	}{
+		{"empty q=0", nil, 0, 0},
+		{"empty q=0.5", nil, 0.5, 0},
+		{"empty q=1", nil, 1, 0},
+		{"empty NaN", nil, nan, 0},
+		{"single q=0", []Time{7}, 0, 7},
+		{"single q=0.5", []Time{7}, 0.5, 7},
+		{"single q=1", []Time{7}, 1, 7},
+		{"two q=0", []Time{3, 9}, 0, 3},
+		{"two q=1", []Time{3, 9}, 1, 9},
+		{"q<0 clamps to min", []Time{3, 9}, -0.5, 3},
+		{"q>1 clamps to max", []Time{3, 9}, 1.5, 9},
+		{"NaN clamps to min", []Time{3, 9}, nan, 3},
+		// 1000 shares a log bucket spanning [960, 1024); without the
+		// min/max clamp, q=0 would interpolate to the bucket's lower
+		// bound (960) and q=1 to its upper edge, neither ever recorded.
+		{"bucket lower edge", []Time{1000}, 0, 1000},
+		{"bucket upper edge", []Time{1000}, 1, 1000},
+		{"bucket mid", []Time{1000}, 0.5, 1000},
+	}
+	for _, c := range cases {
+		var h Histogram
+		for _, v := range c.values {
+			h.Record(v)
+		}
+		if got := h.Quantile(c.q); got != c.want {
+			t.Errorf("%s: Quantile(%v) over %v = %d, want %d", c.name, c.q, c.values, got, c.want)
+		}
+	}
+}
+
 // TestHistogramRecordZeroAlloc pins the per-message telemetry path at
 // zero allocations (the issue's contract: Record sits on the message
 // timestamp path of every fabric delivery).

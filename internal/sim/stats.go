@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 )
 
 // Counter is one interned statistics cell. Components resolve the name
@@ -11,18 +12,42 @@ import (
 // the handle are a plain memory increment with no map hash or string
 // concatenation, so they are safe to call in the simulator's innermost
 // loops.
+//
+// In concurrent mode (Stats.MarkConcurrent, set by sharded machines)
+// the increments become atomic adds: totals are identical to the
+// serial mode in any interleaving, so results stay byte-identical
+// across shard counts. The value stays a plain uint64 (not an
+// atomic.Uint64, which would make existing value copies vet errors).
 type Counter struct {
-	v uint64
+	v          uint64
+	concurrent bool
 }
 
 // Add increments the counter by n.
-func (c *Counter) Add(n uint64) { c.v += n }
+func (c *Counter) Add(n uint64) {
+	if c.concurrent {
+		atomic.AddUint64(&c.v, n)
+		return
+	}
+	c.v += n
+}
 
 // Inc increments the counter by one.
-func (c *Counter) Inc() { c.v++ }
+func (c *Counter) Inc() {
+	if c.concurrent {
+		atomic.AddUint64(&c.v, 1)
+		return
+	}
+	c.v++
+}
 
 // Value returns the accumulated count.
-func (c *Counter) Value() uint64 { return c.v }
+func (c *Counter) Value() uint64 {
+	if c.concurrent {
+		return atomic.LoadUint64(&c.v)
+	}
+	return c.v
+}
 
 // Stats accumulates named counters and time-weighted utilisation
 // trackers for a simulation run. It is the one place experiment
@@ -33,10 +58,11 @@ func (c *Counter) Value() uint64 { return c.v }
 // increment through it; the string-keyed Add/Inc/Get remain for tests
 // and one-off accounting.
 type Stats struct {
-	eng      *Engine
-	counters map[string]*Counter
-	busy     map[string]*BusyTracker
-	hists    map[string]*Histogram
+	eng        *Engine
+	concurrent bool
+	counters   map[string]*Counter
+	busy       map[string]*BusyTracker
+	hists      map[string]*Histogram
 }
 
 // NewStats returns an empty Stats bound to the engine's clock.
@@ -49,12 +75,33 @@ func NewStats(e *Engine) *Stats {
 	}
 }
 
+// SetEngine rebinds the clock used by busy trackers created from now
+// on. Sharded machines point it at each node's shard engine while
+// building that node, so per-node trackers read their own shard's
+// clock; on a serial machine it is a no-op.
+func (s *Stats) SetEngine(e *Engine) { s.eng = e }
+
+// MarkConcurrent switches every counter and histogram — existing and
+// future — to atomic recording, for machines whose shards run on
+// concurrent goroutines. Totals are identical to serial recording.
+// Handle creation itself stays single-threaded (components intern
+// handles at machine build time, before any shard runs).
+func (s *Stats) MarkConcurrent() {
+	s.concurrent = true
+	for _, c := range s.counters {
+		c.concurrent = true
+	}
+	for _, h := range s.hists {
+		h.markConcurrent()
+	}
+}
+
 // Counter returns (creating if needed) the interned counter handle for
 // name. Callers on hot paths resolve once and keep the pointer.
 func (s *Stats) Counter(name string) *Counter {
 	c, ok := s.counters[name]
 	if !ok {
-		c = &Counter{}
+		c = &Counter{concurrent: s.concurrent}
 		s.counters[name] = c
 	}
 	return c
@@ -69,7 +116,7 @@ func (s *Stats) Inc(name string) { s.Counter(name).Inc() }
 // Get returns the value of the named counter (zero if never touched).
 func (s *Stats) Get(name string) uint64 {
 	if c, ok := s.counters[name]; ok {
-		return c.v
+		return c.Value()
 	}
 	return 0
 }
@@ -101,6 +148,9 @@ func (s *Stats) Histogram(name string) *Histogram {
 	h, ok := s.hists[name]
 	if !ok {
 		h = &Histogram{}
+		if s.concurrent {
+			h.markConcurrent()
+		}
 		s.hists[name] = h
 	}
 	return h
@@ -120,7 +170,7 @@ func (s *Stats) Histograms() []string {
 func (s *Stats) String() string {
 	var b strings.Builder
 	for _, n := range s.Counters() {
-		fmt.Fprintf(&b, "%-40s %12d\n", n, s.counters[n].v)
+		fmt.Fprintf(&b, "%-40s %12d\n", n, s.counters[n].Value())
 	}
 	return b.String()
 }

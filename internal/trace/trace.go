@@ -119,6 +119,7 @@ type ring struct {
 // entry.
 type Recorder struct {
 	eng   *sim.Engine
+	sh    *sim.ShardSet // non-nil on sharded machines: per-node clocks
 	rings []ring
 	size  uint64
 }
@@ -139,12 +140,22 @@ func NewRecorder(eng *sim.Engine, nodes, ringSize int) *Recorder {
 // Nodes returns the ring count.
 func (r *Recorder) Nodes() int { return len(r.rings) }
 
+// Shard switches the recorder to per-node clocks: on a sharded
+// machine each record is stamped with the clock of the shard that
+// owns the noted node (records are only ever written by that shard,
+// so each ring stays single-writer).
+func (r *Recorder) Shard(sh *sim.ShardSet) { r.sh = sh }
+
 // Note appends one record to node's ring, stamped with the current
 // simulated time. It neither allocates nor consumes simulated time.
 func (r *Recorder) Note(node int, k Kind, id uint64, link, src, dst int32, frag, flags uint8) {
+	eng := r.eng
+	if r.sh != nil {
+		eng = r.sh.Engine(node)
+	}
 	rg := &r.rings[node]
 	rg.recs[rg.head%r.size] = Record{
-		At: uint64(r.eng.Now()), ID: id, Link: link,
+		At: uint64(eng.Now()), ID: id, Link: link,
 		Src: src, Dst: dst, Kind: k, Frag: frag, Flags: flags,
 	}
 	rg.head++

@@ -32,6 +32,8 @@ package workload
 
 import (
 	"math"
+	"runtime"
+	"time"
 
 	"repro/internal/apps"
 	"repro/internal/params"
@@ -187,13 +189,22 @@ type run struct {
 	// sender to the destination's handler, slot src*n+dst. Per-(src,dst)
 	// delivery is FIFO end to end (FIFO fabrics, in-order reassembly),
 	// so a queue per slot is enough; the arena packs all n² of them
-	// into one slab (see stampArena).
+	// into one slab (see stampArena). Sharded machines instead carry
+	// the stamp in the message payload (sharded below): an arena slot
+	// is pushed on the source shard and popped on the destination
+	// shard, which would race across shards.
 	stamps *stampArena
 	hists  []sim.Histogram
 
-	sent      uint64
-	delivered uint64
-	winBytes  uint64
+	// sharded mirrors scenario.Machine.Sharded for the hot paths.
+	sharded bool
+
+	// Tallies are per-node (writer = the node's own shard) and summed
+	// into the Report after the run; a node's handler bumps its own
+	// slot, so no two shards share a counter.
+	sent      []uint64
+	delivered []uint64
+	winBytes  []uint64
 }
 
 // zipfCDF builds the cumulative destination distribution: node d has
@@ -237,8 +248,18 @@ func newRun(cfg params.Config, warm, measure sim.Time) *run {
 		warmEnd: warm,
 		endAt:   warm + measure,
 	}
-	r.stamps = newStampArena(r.n * r.n)
+	r.sharded = m.Sharded()
+	if !r.sharded {
+		// The n² arena is a real cost at thousands of nodes (the slab
+		// alone is hundreds of MB at 4096, and the GC rescans it all
+		// run); sharded machines carry stamps in payloads and never
+		// touch it, so don't build it.
+		r.stamps = newStampArena(r.n * r.n)
+	}
 	r.hists = make([]sim.Histogram, r.n)
+	r.sent = make([]uint64, r.n)
+	r.delivered = make([]uint64, r.n)
+	r.winBytes = make([]uint64, r.n)
 	cdf := zipfCDF(r.n, wl.ZipfS)
 	sizeSum := 0
 	for _, s := range wl.Sizes {
@@ -275,6 +296,22 @@ func newRun(cfg params.Config, warm, measure sim.Time) *run {
 // simply never count — so a run's cost is bounded no matter how far
 // past saturation the offered load is.
 func Run(cfg params.Config, warm, measure sim.Time) Report {
+	rep, _ := runMeasured(cfg, warm, measure, false)
+	return rep
+}
+
+// RunTimed is Run plus the run phase's wall-clock seconds, measured
+// from scenario start to horizon and excluding machine construction —
+// at thousands of nodes the O(n²) route/fault tables dominate setup,
+// and the sharded-engine speedup canary must compare execution, not
+// allocation. The collector is quiesced (one forced GC) before the
+// clock starts, so a mark cycle triggered by construction garbage
+// doesn't bleed into the timed window.
+func RunTimed(cfg params.Config, warm, measure sim.Time) (Report, float64) {
+	return runMeasured(cfg, warm, measure, true)
+}
+
+func runMeasured(cfg params.Config, warm, measure sim.Time, timed bool) (Report, float64) {
 	r := newRun(cfg, warm, measure)
 	defer r.m.Close()
 	sc := scenario.New()
@@ -283,13 +320,25 @@ func Run(cfg params.Config, warm, measure sim.Time) Report {
 	} else {
 		r.addOpen(sc)
 	}
+	var start time.Time
+	if timed {
+		runtime.GC()
+		start = time.Now()
+	}
 	tr := r.m.RunUntil(sc, r.endAt)
+	wall := time.Since(start).Seconds()
 
+	var sent, delivered, winBytes uint64
+	for id := 0; id < r.n; id++ {
+		sent += r.sent[id]
+		delivered += r.delivered[id]
+		winBytes += r.winBytes[id]
+	}
 	rep := Report{
 		OfferedMBps:   r.wl.OfferedMBps * float64(r.n),
-		Sent:          r.sent,
-		Delivered:     r.delivered,
-		GoodputMBps:   float64(r.winBytes) * params.CPUMHz / float64(r.endAt-r.warmEnd),
+		Sent:          sent,
+		Delivered:     delivered,
+		GoodputMBps:   float64(winBytes) * params.CPUMHz / float64(r.endAt-r.warmEnd),
 		NetDelivery:   tr.Histogram("net.delivery"),
 		Drops:         tr.Counter("net.drops"),
 		Retransmits:   tr.Counter("net.retransmits"),
@@ -303,7 +352,7 @@ func Run(cfg params.Config, warm, measure sim.Time) Report {
 	if r.wl.Arrival == params.ArrivalClosed {
 		rep.OfferedMBps = rep.GoodputMBps
 	}
-	return rep
+	return rep, wall
 }
 
 // addOpen adds one open-loop program per node: it emits requests on
@@ -316,12 +365,17 @@ func (r *run) addOpen(sc *scenario.Scenario) {
 			// receiver's cache, as in the bandwidth microbenchmark).
 			d.EP.Load(0x4000, d.Size)
 			d.EP.Compute(serviceCycles)
-			intended := r.stamps.Pop(d.Src*r.n + at)
-			r.delivered++
+			var intended sim.Time
+			if r.sharded {
+				intended = d.Payload.(sim.Time)
+			} else {
+				intended = r.stamps.Pop(d.Src*r.n + at)
+			}
+			r.delivered[at]++
 			now := d.EP.Clock()
 			if now > r.warmEnd {
 				r.hists[at].Record(now - intended)
-				r.winBytes += uint64(d.Size)
+				r.winBytes[at] += uint64(d.Size)
 			}
 		})
 	}
@@ -334,9 +388,14 @@ func (r *run) addOpen(sc *scenario.Scenario) {
 				if ep.Clock() >= next {
 					dst := g.pickDst(self)
 					size := g.pickSize()
-					r.stamps.Push(self*r.n+dst, next)
-					r.sent++
-					ep.SendTo(dst, hOpen, size, nil)
+					var payload any
+					if r.sharded {
+						payload = next
+					} else {
+						r.stamps.Push(self*r.n+dst, next)
+					}
+					r.sent[self]++
+					ep.SendTo(dst, hOpen, size, payload)
 					next += g.nextGap()
 					continue
 				}
@@ -381,9 +440,9 @@ func (r *run) addClosed(sc *scenario.Scenario) {
 		ep.Handle(hReq, func(d *scenario.Delivery) {
 			d.EP.Load(0x4000, d.Size)
 			d.EP.Compute(serviceCycles)
-			r.delivered++
+			r.delivered[at]++
 			if d.EP.Clock() > r.warmEnd {
-				r.winBytes += uint64(d.Size)
+				r.winBytes[at] += uint64(d.Size)
 			}
 			d.EP.SendTo(d.Src, hRep, replyBytes, d.Payload)
 		})
@@ -411,7 +470,7 @@ func (r *run) addClosed(sc *scenario.Scenario) {
 					if !sl.pending && ep.Clock() >= sl.readyAt {
 						sl.start = ep.Clock()
 						sl.pending = true
-						r.sent++
+						r.sent[self]++
 						ep.SendTo(g.pickDst(self), hReq, g.pickSize(), sl)
 						issued = true
 					}
@@ -468,9 +527,9 @@ func (r *run) addClosedPopulation(sc *scenario.Scenario) {
 		ep.Handle(hReq, func(d *scenario.Delivery) {
 			d.EP.Load(0x4000, d.Size)
 			d.EP.Compute(serviceCycles)
-			r.delivered++
+			r.delivered[at]++
 			if d.EP.Clock() > r.warmEnd {
-				r.winBytes += uint64(d.Size)
+				r.winBytes[at] += uint64(d.Size)
 			}
 			d.EP.SendTo(d.Src, hRep, replyBytes, d.Payload)
 		})
@@ -509,7 +568,7 @@ func (r *run) addClosedPopulation(sc *scenario.Scenario) {
 					}
 					pr.start = pop.NextAt()
 					pr.weight = pop.Take()
-					r.sent++
+					r.sent[self]++
 					ep.SendTo(g.pickDst(self), hReq, g.pickSize(), pr)
 					issued = true
 				}

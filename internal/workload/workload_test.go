@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/apps"
 	"repro/internal/params"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 )
 
@@ -126,6 +127,47 @@ func TestZipfSkewConcentratesTraffic(t *testing.T) {
 	uniform := zipfCDF(16, 0)
 	if uniform[0] < 0.06 || uniform[0] > 0.07 {
 		t.Errorf("Zipf(0) should be uniform, first share = %v", uniform[0])
+	}
+}
+
+// TestSerialSteadyStateZeroAlloc pins the engine-gating contract from
+// the allocation side: the serial ≤16-node path — the machine every
+// golden and BENCH canary runs on — must stay at 0 allocs/event in
+// steady state. The machine is warmed past capacity growth (event
+// heap, stamp FIFOs, pending slices), then advanced window by window
+// with no scenario bookkeeping; any per-message boxing or closure
+// creep on the inject→deliver→record path fails this loudly.
+func TestSerialSteadyStateZeroAlloc(t *testing.T) {
+	cfg := openCfg(params.ArrivalPoisson, params.TopoTorus, 6)
+	r := newRun(cfg, 10_000, 10_000_000)
+	defer r.m.Close()
+	if r.m.Sharded() {
+		t.Fatal("16-node torus must gate onto the serial engine")
+	}
+	sc := scenario.New()
+	r.addOpen(sc)
+	r.m.RunUntil(sc, 50_000)
+	// Warm further with throwaway windows: FIFO rings, map buckets,
+	// and free lists grow toward their steady-state capacity over the
+	// first few hundred thousand cycles; measuring before they settle
+	// reports residual growth as per-window allocation.
+	next := sim.Time(50_000)
+	for next < 400_000 {
+		next += 2_000
+		r.m.Advance(next)
+	}
+	before := r.m.EventsScheduled()
+	allocs := testing.AllocsPerRun(100, func() {
+		next += 2_000
+		r.m.Advance(next)
+	})
+	events := r.m.EventsScheduled() - before
+	if events == 0 {
+		t.Fatal("steady-state windows dispatched no events")
+	}
+	if allocs != 0 {
+		t.Errorf("serial steady state allocates %.2f objects per 2k-cycle window (%d events total), want 0 allocs/event",
+			allocs, events)
 	}
 }
 
